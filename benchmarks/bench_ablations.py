@@ -1,0 +1,132 @@
+"""Ablation benchmarks for the design choices DESIGN.md section 8 calls out.
+
+Each ablation reruns part of the suite with one mechanism toggled and
+reports the behavioural delta alongside the timing:
+
+* CLANS without its speedup check — retardation count explodes from zero,
+  demonstrating *why* CLANS never retards in Tables 2/6/10;
+* MCP without idle-slot insertion — schedules never improve;
+* DSC without CT2 — the partial-free guard's effect on makespan;
+* HU with MH's processor rule — isolates the single line that makes HU the
+  worst heuristic in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.measures import GraphResult, HeuristicResult
+from repro.experiments.runner import run_suite
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.schedulers import (
+    ClansScheduler,
+    DSCScheduler,
+    HuScheduler,
+    MCPScheduler,
+    MHScheduler,
+)
+
+
+@pytest.fixture(scope="module")
+def low_g_suite():
+    """Low-granularity graphs — where the speedup check matters most."""
+    cells = [SuiteCell(0, a, (20, 200)) for a in (2, 3, 4, 5)]
+    return list(generate_suite(graphs_per_cell=4, cells=cells, n_tasks_range=(30, 60)))
+
+
+@pytest.fixture(scope="module")
+def mid_g_suite():
+    cells = [SuiteCell(2, a, (20, 200)) for a in (2, 3, 4, 5)]
+    return list(generate_suite(graphs_per_cell=4, cells=cells, n_tasks_range=(30, 60)))
+
+
+def _retardations(suite, scheduler) -> int:
+    count = 0
+    for sg in suite:
+        s = scheduler.schedule(sg.graph)
+        if s.makespan > sg.graph.serial_time() + 1e-9:
+            count += 1
+    return count
+
+
+def test_clans_speedup_check_ablation(benchmark, low_g_suite, emit):
+    """Without the per-clan speedup check, CLANS retards like the others."""
+    checked = ClansScheduler(speedup_check=True)
+    unchecked = ClansScheduler(speedup_check=False)
+    with_check = _retardations(low_g_suite, checked)
+    without = benchmark(_retardations, low_g_suite, unchecked)
+    emit(
+        "ablation_clans_speedup_check.txt",
+        "CLANS speedup-check ablation (low-granularity suite, "
+        f"{len(low_g_suite)} graphs)\n"
+        f"  retardations with check   : {with_check}\n"
+        f"  retardations without check: {without}",
+    )
+    assert with_check == 0
+    assert without > 0
+
+
+def test_mcp_insertion_ablation(benchmark, mid_g_suite, emit):
+    """Idle-slot insertion is a per-task greedy improvement: it shortens a
+    task's own start, though by redirecting later placements it can
+    occasionally lose globally.  On average it must not hurt."""
+    ins = MCPScheduler(insertion=True)
+    app = MCPScheduler(insertion=False)
+
+    def run(scheduler):
+        return [scheduler.schedule(sg.graph).makespan for sg in mid_g_suite]
+
+    with_ins = run(ins)
+    without = benchmark(run, app)
+    wins = sum(1 for a, b in zip(with_ins, without) if a < b - 1e-9)
+    losses = sum(1 for a, b in zip(with_ins, without) if a > b + 1e-9)
+    mean_ins = sum(with_ins) / len(with_ins)
+    mean_app = sum(without) / len(without)
+    emit(
+        "ablation_mcp_insertion.txt",
+        f"MCP idle-slot insertion ablation ({len(mid_g_suite)} graphs)\n"
+        f"  graphs where insertion strictly wins : {wins}\n"
+        f"  graphs where insertion strictly loses: {losses}\n"
+        f"  mean makespan with insertion  : {mean_ins:.1f}\n"
+        f"  mean makespan append-only     : {mean_app:.1f}",
+    )
+    assert mean_ins <= mean_app * 1.02
+
+
+def test_dsc_ct2_ablation(benchmark, mid_g_suite, emit):
+    with_ct2 = DSCScheduler(use_ct2=True)
+    without_ct2 = DSCScheduler(use_ct2=False)
+
+    def run(scheduler):
+        return [scheduler.schedule(sg.graph).makespan for sg in mid_g_suite]
+
+    a = run(with_ct2)
+    b = benchmark(run, without_ct2)
+    emit(
+        "ablation_dsc_ct2.txt",
+        f"DSC CT2 (partial-free guard) ablation ({len(mid_g_suite)} graphs)\n"
+        f"  mean makespan with CT2   : {sum(a) / len(a):.1f}\n"
+        f"  mean makespan without CT2: {sum(b) / len(b):.1f}",
+    )
+
+
+def test_hu_vs_mh_processor_rule(benchmark, low_g_suite, emit):
+    """The single difference between HU and MH is the processor choice:
+    free-earliest (HU) vs task-starts-earliest (MH)."""
+    hu = HuScheduler()
+    mh = MHScheduler()
+
+    def run(scheduler):
+        return [scheduler.schedule(sg.graph).makespan for sg in low_g_suite]
+
+    hu_times = benchmark(run, hu)
+    mh_times = run(mh)
+    worse = sum(1 for h, m in zip(hu_times, mh_times) if h > m + 1e-9)
+    emit(
+        "ablation_hu_processor_rule.txt",
+        f"HU vs MH processor rule (low-granularity, {len(low_g_suite)} graphs)\n"
+        f"  graphs where HU is strictly worse: {worse} / {len(low_g_suite)}\n"
+        f"  mean makespan HU: {sum(hu_times) / len(hu_times):.1f}\n"
+        f"  mean makespan MH: {sum(mh_times) / len(mh_times):.1f}",
+    )
+    assert worse >= len(low_g_suite) // 2

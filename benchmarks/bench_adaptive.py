@@ -1,0 +1,45 @@
+"""The adaptive scheduler vs the fixed heuristics — the paper's punchline.
+
+Section 5.2 motivates the whole testbed with a parallelizing compiler that
+*selects* its scheduler per graph class.  This benchmark reruns the
+Table 3 aggregation with ADAPT (granularity-dispatching) alongside the
+five fixed heuristics: the adaptive column should sit at (or near) zero
+NRPT in every band — no fixed heuristic achieves that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.experiments.tables import table2, table3
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.schedulers import get_scheduler
+
+NAMES = ["CLANS", "DSC", "MCP", "MH", "HU", "ADAPT"]
+
+
+@pytest.fixture(scope="module")
+def results():
+    cells = [
+        SuiteCell(band, anchor, (20, 200))
+        for band in range(5)
+        for anchor in (2, 4)
+    ]
+    suite = list(generate_suite(graphs_per_cell=3, cells=cells,
+                                n_tasks_range=(30, 60)))
+    return run_suite(suite, [get_scheduler(n) for n in NAMES])
+
+
+def test_adaptive_nrpt(benchmark, results, emit):
+    table = benchmark(table3, results)
+    emit("adaptive_table3.txt", table.to_text())
+    # the adaptive column must stay near the per-band best everywhere
+    for label, _ in table.rows:
+        assert table.value(label, "ADAPT") <= 0.10, label
+
+
+def test_adaptive_never_retards(benchmark, results, emit):
+    table = benchmark(table2, results)
+    emit("adaptive_table2.txt", table.to_text())
+    assert all(v == 0 for v in table.column("ADAPT"))

@@ -1,0 +1,75 @@
+"""Bounded-processor study (extension; DESIGN.md section 8).
+
+The paper's model grants unlimited processors (assumption 2).  This
+benchmark asks what its conclusions look like on a *fixed* machine:
+speedup as a function of processor count p for mid-granularity graphs,
+comparing
+
+* the direct bounded list schedulers (the pool simply stops growing), and
+* fold-after mapping (the unbounded heuristic's clusters LPT-packed onto p).
+
+Also verifies the sanity property that more processors never hurt the
+per-p *best* heuristic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.schedulers import BoundedScheduler, MCPScheduler, MHScheduler
+
+PROCS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    cells = [SuiteCell(2, a, (20, 200)) for a in (2, 3)]
+    return [
+        sg.graph
+        for sg in generate_suite(graphs_per_cell=4, cells=cells,
+                                 n_tasks_range=(40, 70))
+    ]
+
+
+def _mean_speedup(graphs, scheduler_factory):
+    out = []
+    for p in PROCS:
+        sched = scheduler_factory(p)
+        total = 0.0
+        for g in graphs:
+            s = sched.schedule(g)
+            total += g.serial_time() / s.makespan
+        out.append(total / len(graphs))
+    return out
+
+
+def test_speedup_vs_processors(benchmark, graphs, emit):
+    direct_mcp = _mean_speedup(graphs, lambda p: MCPScheduler(max_processors=p))
+    direct_mh = _mean_speedup(graphs, lambda p: MHScheduler(max_processors=p))
+    folded_mcp = benchmark(
+        _mean_speedup, graphs, lambda p: BoundedScheduler(MCPScheduler(), p)
+    )
+    folded_dsc = _mean_speedup(graphs, lambda p: BoundedScheduler("DSC", p))
+    folded_clans = _mean_speedup(graphs, lambda p: BoundedScheduler("CLANS", p))
+
+    header = "p:            " + "".join(f"{p:>8d}" for p in PROCS)
+    rows = [
+        ("MCP direct   ", direct_mcp),
+        ("MCP folded   ", folded_mcp),
+        ("MH direct    ", direct_mh),
+        ("DSC folded   ", folded_dsc),
+        ("CLANS folded ", folded_clans),
+    ]
+    body = "\n".join(
+        label + "".join(f"{v:8.2f}" for v in values) for label, values in rows
+    )
+    emit(
+        "bounded_processors.txt",
+        "Mean speedup vs processor count (mid-granularity, "
+        f"{len(graphs)} graphs)\n{header}\n{body}",
+    )
+    # sanity: speedup at p=1 is ~1 and grows (weakly) with p for every row
+    for label, values in rows:
+        assert values[0] == pytest.approx(1.0, abs=0.01), label
+        assert values[-1] >= values[0] - 1e-9, label

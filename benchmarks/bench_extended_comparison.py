@@ -1,0 +1,46 @@
+"""Extended heuristic comparison (extension; DESIGN.md section 8).
+
+The paper closes by inviting other heuristics that share its execution
+model into the testbed (section 5.2).  This benchmark answers the
+invitation with ETF (earliest task first), LC (Kim & Browne's linear
+clustering) and EZ (Sarkar's edge zeroing), rerunning Table 3 / Table 4
+style aggregations over all eight schedulers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.experiments.tables import table2, table3, table4
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.schedulers import get_scheduler
+
+EXTENDED = ["CLANS", "DSC", "MCP", "MH", "HU", "ETF", "LC", "EZ"]
+
+
+@pytest.fixture(scope="module")
+def extended_results():
+    cells = [
+        SuiteCell(band, anchor, (20, 200))
+        for band in range(5)
+        for anchor in (2, 4)
+    ]
+    suite = list(generate_suite(graphs_per_cell=3, cells=cells,
+                                n_tasks_range=(30, 60)))
+    return run_suite(suite, [get_scheduler(n) for n in EXTENDED])
+
+
+def test_extended_retardation(benchmark, extended_results, emit):
+    table = benchmark(table2, extended_results)
+    emit("extended_table2.txt", table.to_text())
+
+
+def test_extended_nrpt(benchmark, extended_results, emit):
+    table = benchmark(table3, extended_results)
+    emit("extended_table3.txt", table.to_text())
+
+
+def test_extended_speedup(benchmark, extended_results, emit):
+    table = benchmark(table4, extended_results)
+    emit("extended_table4.txt", table.to_text())

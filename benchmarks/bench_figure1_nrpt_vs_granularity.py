@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 1: average relative parallel time vs granularity.
+
+Figure 1 plots Table 3; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_figure1(benchmark, suite_results, emit):
+    fig = benchmark(figure1, suite_results)
+    emit("figure1.txt", fig.to_text())
+    emit("figure1.csv", fig.to_csv())

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 2: speedup growth with granularity.
+
+Figure 2 plots Table 4; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_figure2(benchmark, suite_results, emit):
+    fig = benchmark(figure2, suite_results)
+    emit("figure2.txt", fig.to_text())
+    emit("figure2.csv", fig.to_csv())

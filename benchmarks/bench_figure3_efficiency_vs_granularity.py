@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 3: average efficiency vs granularity.
+
+Figure 3 plots Table 5; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3(benchmark, suite_results, emit):
+    fig = benchmark(figure3, suite_results)
+    emit("figure3.txt", fig.to_text())
+    emit("figure3.csv", fig.to_csv())

@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 4: average relative parallel time vs node weight range.
+
+Figure 4 plots Table 7; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_figure4(benchmark, suite_results, emit):
+    fig = benchmark(figure4, suite_results)
+    emit("figure4.txt", fig.to_text())
+    emit("figure4.csv", fig.to_csv())

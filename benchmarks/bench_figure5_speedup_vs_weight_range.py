@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 5: average speedup vs node weight range.
+
+Figure 5 plots Table 8; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure5
+
+
+def test_figure5(benchmark, suite_results, emit):
+    fig = benchmark(figure5, suite_results)
+    emit("figure5.txt", fig.to_text())
+    emit("figure5.csv", fig.to_csv())

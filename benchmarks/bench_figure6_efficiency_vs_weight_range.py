@@ -1,0 +1,13 @@
+"""Benchmark regenerating the paper's Figure 6: average efficiency vs node weight range.
+
+Figure 6 plots Table 9; the benchmark emits the plotted series as an
+ASCII chart plus CSV so curve shapes can be compared with the paper.
+"""
+
+from repro.experiments.figures import figure6
+
+
+def test_figure6(benchmark, suite_results, emit):
+    fig = benchmark(figure6, suite_results)
+    emit("figure6.txt", fig.to_text())
+    emit("figure6.csv", fig.to_csv())

@@ -1,0 +1,66 @@
+"""Continuous granularity sweep (a fine-grained Figure 2).
+
+The paper samples five granularity bands; this benchmark sweeps a single
+graph family continuously — one fixed topology, edge weights scaled so the
+paper-formula granularity runs from 0.02 to 8 — and records every
+heuristic's speedup at each point.  The crossovers (where CLANS hands over
+to the critical-path methods, where HU finally exceeds speedup 1) become
+visible as curve intersections rather than band averages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import granularity
+from repro.experiments.reporting import ascii_chart
+from repro.experiments.runner import PAPER_HEURISTIC_ORDER
+from repro.generation.random_dag import generate_pdg
+from repro.schedulers import get_scheduler
+
+GRANULARITIES = (0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@pytest.fixture(scope="module")
+def base_graph():
+    rng = np.random.default_rng(77)
+    return generate_pdg(rng, n_tasks=60, band=2, anchor=3, weight_range=(20, 200))
+
+
+def _sweep(base_graph):
+    g0 = granularity(base_graph)
+    series = {name: [] for name in PAPER_HEURISTIC_ORDER}
+    for target in GRANULARITIES:
+        g = base_graph.copy()
+        scale = g0 / target  # granularity ~ 1/edge-scale
+        for u, v in g.edges():
+            g.add_edge(u, v, g.edge_weight(u, v) * scale)
+        assert abs(granularity(g) - target) < 1e-6
+        for name in PAPER_HEURISTIC_ORDER:
+            s = get_scheduler(name).schedule(g)
+            series[name].append(g.serial_time() / s.makespan)
+    return series
+
+
+def test_granularity_sweep(benchmark, base_graph, emit):
+    series = benchmark.pedantic(_sweep, args=(base_graph,), rounds=1, iterations=1)
+    chart = ascii_chart(
+        "Speedup vs granularity (one 60-task graph, edge weights rescaled)",
+        [f"{g:g}" for g in GRANULARITIES],
+        series,
+        height=14,
+    )
+    rows = [f"{'G':>8s}" + "".join(f"{n:>8s}" for n in PAPER_HEURISTIC_ORDER)]
+    for i, g in enumerate(GRANULARITIES):
+        rows.append(
+            f"{g:8g}" + "".join(f"{series[n][i]:8.2f}" for n in PAPER_HEURISTIC_ORDER)
+        )
+    emit("granularity_sweep.txt", chart + "\n\n" + "\n".join(rows))
+    # every heuristic's speedup is (weakly) monotone in granularity here
+    for name, values in series.items():
+        assert values[-1] >= values[0], name
+    # CLANS never dips below 1; HU starts far below 1 and ends below the rest
+    assert min(series["CLANS"]) >= 1.0 - 1e-9
+    assert series["HU"][0] < 0.5
+    assert series["HU"][-1] == min(s[-1] for s in series.values())

@@ -1,0 +1,60 @@
+"""Optimality-gap study (extension; DESIGN.md section 8).
+
+The paper's core complaint (section 1) is that no baseline exists for
+judging scheduling heuristics.  For tiny graphs we *can* afford one: the
+branch-and-bound OPT oracle.  This benchmark generates small classified
+graphs across the granularity bands, schedules them with all seven
+heuristics plus OPT, and reports each heuristic's mean ratio to optimal —
+an absolute quality axis the paper could not provide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generation.random_dag import generate_pdg
+from repro.schedulers import get_scheduler
+
+NAMES = ["CLANS", "DSC", "MCP", "MH", "HU", "ETF", "LC", "EZ"]
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    rng = np.random.default_rng(7)
+    graphs = []
+    for band in range(5):
+        for _ in range(6):
+            graphs.append(
+                (band, generate_pdg(rng, n_tasks=7, band=band, anchor=2,
+                                    weight_range=(20, 100)))
+            )
+    return graphs
+
+
+def _gaps(tiny_suite):
+    opt = get_scheduler("OPT")
+    rows = {name: [] for name in NAMES}
+    for _band, g in tiny_suite:
+        best = opt.schedule(g).makespan
+        for name in NAMES:
+            rows[name].append(get_scheduler(name).schedule(g).makespan / best)
+    return rows
+
+
+def test_optimality_gap(benchmark, tiny_suite, emit):
+    rows = benchmark(_gaps, tiny_suite)
+    lines = [
+        "Optimality gap on 30 tiny classified graphs (7 tasks each)",
+        f"{'heuristic':10s} {'mean t/t_opt':>12s} {'worst':>8s} {'optimal found':>14s}",
+    ]
+    for name in NAMES:
+        ratios = rows[name]
+        n_opt = sum(1 for r in ratios if r <= 1.0 + 1e-9)
+        lines.append(
+            f"{name:10s} {sum(ratios) / len(ratios):12.3f} "
+            f"{max(ratios):8.3f} {n_opt:8d}/{len(ratios)}"
+        )
+        # sanity: no heuristic may beat the oracle
+        assert min(ratios) >= 1.0 - 1e-9
+    emit("optimality_gap.txt", "\n".join(lines))

@@ -1,0 +1,36 @@
+"""Scheduler runtime micro-benchmarks.
+
+The paper notes (section 5.2) that prior comparisons focused on heuristic
+*complexity*; this file provides that axis for our implementations: wall
+time of each heuristic — and of the clan parser alone — on a standard
+mid-granularity random PDG of 80 tasks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clans import decompose
+from repro.generation.random_dag import generate_pdg
+from repro.schedulers import get_scheduler
+
+
+@pytest.fixture(scope="module")
+def standard_graph():
+    rng = np.random.default_rng(42)
+    return generate_pdg(
+        rng, n_tasks=80, band=2, anchor=3, weight_range=(20, 200)
+    )
+
+
+@pytest.mark.parametrize("name", ["CLANS", "DSC", "MCP", "MH", "HU", "ETF", "LC", "EZ"])
+def test_scheduler_runtime(benchmark, standard_graph, name):
+    sched = get_scheduler(name)
+    schedule = benchmark(sched.schedule, standard_graph)
+    assert schedule.makespan > 0
+
+
+def test_clan_decomposition_runtime(benchmark, standard_graph):
+    tree = benchmark(decompose, standard_graph)
+    assert tree.members == frozenset(standard_graph.tasks())

@@ -1,0 +1,64 @@
+"""Statistical significance of the comparison (extension).
+
+The paper compares class means; this benchmark adds the missing rigor:
+paired Wilcoxon signed-rank tests and a pairwise win-fraction matrix over
+the suite, answering "is CLANS *systematically* better at low granularity,
+or just on average?".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.experiments.significance import compare_heuristics, comparison_matrix
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+@pytest.fixture(scope="module")
+def results_by_regime():
+    low = [SuiteCell(0, a, (20, 200)) for a in (2, 3, 4, 5)]
+    high = [SuiteCell(4, a, (20, 200)) for a in (2, 3, 4, 5)]
+    out = {}
+    for label, cells in (("low granularity", low), ("high granularity", high)):
+        suite = list(generate_suite(graphs_per_cell=4, cells=cells,
+                                    n_tasks_range=(30, 60)))
+        out[label] = run_suite(suite)
+    return out
+
+
+def test_significance(benchmark, results_by_regime, emit):
+    def run(results_by_regime):
+        blocks = []
+        for label, results in results_by_regime.items():
+            matrix = comparison_matrix(
+                results, ["CLANS", "DSC", "MCP", "MH", "HU"]
+            )
+            pairs = [
+                compare_heuristics(results, "CLANS", "MCP"),
+                compare_heuristics(results, "CLANS", "HU"),
+                compare_heuristics(results, "MCP", "MH"),
+                compare_heuristics(results, "DSC", "MCP"),
+            ]
+            blocks.append((label, matrix, pairs))
+        return blocks
+
+    blocks = benchmark.pedantic(run, args=(results_by_regime,), rounds=1, iterations=1)
+    lines = []
+    for label, matrix, pairs in blocks:
+        lines.append(f"=== {label} (16 graphs) ===")
+        lines.append(matrix.to_text())
+        for cmp_result in pairs:
+            lines.append("  " + cmp_result.summary())
+        lines.append("")
+    emit("significance.txt", "\n".join(lines))
+
+    low_label, low_matrix, low_pairs = blocks[0]
+    # at low granularity, everyone beats HU on essentially every graph,
+    # significantly
+    clans_vs_hu = low_pairs[1]
+    assert clans_vs_hu.wins == clans_vs_hu.n_graphs
+    assert clans_vs_hu.p_value < 0.01
+    # and CLANS-vs-MCP is one-sided there too
+    clans_vs_mcp = low_pairs[0]
+    assert clans_vs_mcp.wins > clans_vs_mcp.losses

@@ -1,0 +1,54 @@
+"""Structured-workload study (extension; the paper's section 5.2 next step).
+
+"A next step for a testbed would be to use DAGs generated from real serial
+programs."  This benchmark runs the five heuristics over the classic kernel
+DAGs (FFT, Gaussian elimination, Cholesky, divide & conquer, stencil,
+wavefront, trees) in a cheap-communication and an expensive-communication
+regime, reporting speedups — the per-application counterpart of Table 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import PAPER_HEURISTIC_ORDER
+from repro.generation import workloads as w
+from repro.schedulers import get_scheduler
+
+WORKLOADS = {
+    "fft(16)": lambda comm: w.fft_graph(4, comp=10, comm=comm),
+    "gauss(8)": lambda comm: w.gaussian_elimination(8, comp=10, comm=comm),
+    "cholesky(5)": lambda comm: w.cholesky(5, comp=10, comm=comm),
+    "dnc(3)": lambda comm: w.divide_and_conquer(3, comp=10, comm=comm),
+    "stencil(6x6)": lambda comm: w.stencil_1d(6, 6, comp=10, comm=comm),
+    "wavefront(6x6)": lambda comm: w.wavefront(6, 6, comp=10, comm=comm),
+    "out_tree(4)": lambda comm: w.out_tree(4, comp=10, comm=comm),
+    "fork_join(8x3)": lambda comm: w.fork_join(8, stages=3, comp=10, comm=comm),
+}
+
+
+def _speedups(comm: float) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for wname, factory in WORKLOADS.items():
+        g = factory(comm)
+        out[wname] = {}
+        for hname in PAPER_HEURISTIC_ORDER:
+            s = get_scheduler(hname).schedule(g)
+            out[wname][hname] = g.serial_time() / s.makespan
+    return out
+
+
+@pytest.mark.parametrize("comm,regime", [(2.0, "cheap"), (60.0, "expensive")])
+def test_structured_workloads(benchmark, emit, comm, regime):
+    table = benchmark(_speedups, comm)
+    header = f"{'workload':16s}" + "".join(f"{n:>8s}" for n in PAPER_HEURISTIC_ORDER)
+    lines = [f"Speedup on structured kernels, {regime} communication (cost {comm:g})",
+             header]
+    for wname, row in table.items():
+        lines.append(
+            f"{wname:16s}" + "".join(f"{row[n]:8.2f}" for n in PAPER_HEURISTIC_ORDER)
+        )
+    emit(f"structured_workloads_{regime}.txt", "\n".join(lines))
+    # CLANS must never retard any kernel (same guarantee as the suite)
+    for wname, row in table.items():
+        assert row["CLANS"] >= 1.0 - 1e-9, wname

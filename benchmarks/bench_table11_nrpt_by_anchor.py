@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 11: average NRPT per anchor out-degree.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table11
+
+
+def test_table11(benchmark, suite_results, emit):
+    table = benchmark(table11, suite_results)
+    emit("table11.txt", table.to_text())
+    emit("table11.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 1: suite composition (graph counts per class).
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table1
+
+
+def test_table1(benchmark, suite_results, emit):
+    table = benchmark(table1, suite_results)
+    emit("table1.txt", table.to_text())
+    emit("table1.csv", table.to_csv())

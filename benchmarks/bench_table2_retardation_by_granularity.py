@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 2: schedules with speedup < 1 per granularity band.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, suite_results, emit):
+    table = benchmark(table2, suite_results)
+    emit("table2.txt", table.to_text())
+    emit("table2.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 3: average normalized relative parallel time per granularity band.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, suite_results, emit):
+    table = benchmark(table3, suite_results)
+    emit("table3.txt", table.to_text())
+    emit("table3.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 4: average speedup per granularity band.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table4
+
+
+def test_table4(benchmark, suite_results, emit):
+    table = benchmark(table4, suite_results)
+    emit("table4.txt", table.to_text())
+    emit("table4.csv", table.to_csv())

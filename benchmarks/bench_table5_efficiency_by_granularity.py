@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 5: average efficiency per granularity band.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table5
+
+
+def test_table5(benchmark, suite_results, emit):
+    table = benchmark(table5, suite_results)
+    emit("table5.txt", table.to_text())
+    emit("table5.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 6: schedules with speedup < 1 per node weight range.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table6
+
+
+def test_table6(benchmark, suite_results, emit):
+    table = benchmark(table6, suite_results)
+    emit("table6.txt", table.to_text())
+    emit("table6.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 7: average relative parallel time per node weight range.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table7
+
+
+def test_table7(benchmark, suite_results, emit):
+    table = benchmark(table7, suite_results)
+    emit("table7.txt", table.to_text())
+    emit("table7.csv", table.to_csv())

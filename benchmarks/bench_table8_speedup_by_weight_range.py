@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 8: average speedup per node weight range.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table8
+
+
+def test_table8(benchmark, suite_results, emit):
+    table = benchmark(table8, suite_results)
+    emit("table8.txt", table.to_text())
+    emit("table8.csv", table.to_csv())

@@ -1,0 +1,14 @@
+"""Benchmark regenerating the paper's Table 9: average efficiency per node weight range.
+
+The heavy lifting (scheduling the whole suite) happens once per session in
+the ``suite_results`` fixture; this benchmark measures the aggregation and
+prints/persists the reproduced table.
+"""
+
+from repro.experiments.tables import table9
+
+
+def test_table9(benchmark, suite_results, emit):
+    table = benchmark(table9, suite_results)
+    emit("table9.txt", table.to_text())
+    emit("table9.csv", table.to_csv())

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive part — generating the classified suite and scheduling every
+graph with every heuristic — runs once per session in :func:`suite_results`;
+each table/figure benchmark then measures and prints its aggregation.
+
+Suite size control:
+
+* ``REPRO_GRAPHS_PER_CELL`` (default 4) — graphs per Table-1 cell, so the
+  default run uses 240 graphs;
+* ``REPRO_FULL_SUITE=1`` — the paper's full 35/cell = 2100 graphs;
+* ``REPRO_NMIN`` / ``REPRO_NMAX`` (default 40 / 100) — graph sizes.
+
+Every produced table/figure is also written to ``benchmarks/out/`` so the
+artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_suite
+from repro.generation.suites import PAPER_GRAPHS_PER_CELL, generate_suite
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def _suite_params() -> tuple[int, tuple[int, int]]:
+    if os.environ.get("REPRO_FULL_SUITE") == "1":
+        per_cell = PAPER_GRAPHS_PER_CELL
+    else:
+        per_cell = int(os.environ.get("REPRO_GRAPHS_PER_CELL", "4"))
+    nmin = int(os.environ.get("REPRO_NMIN", "40"))
+    nmax = int(os.environ.get("REPRO_NMAX", "100"))
+    return per_cell, (nmin, nmax)
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    """All five heuristics run over the classified random-graph suite."""
+    per_cell, n_range = _suite_params()
+    suite = generate_suite(graphs_per_cell=per_cell, n_tasks_range=n_range)
+    return run_suite(list(suite))
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(artifact_dir, capsys):
+    """Print an artifact and persist it under benchmarks/out/."""
+
+    def _emit(name: str, text: str) -> None:
+        (artifact_dir / name).write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore clan decomposition on classic program structures.
+
+Prints the clan parse tree (appendix A.5) for several structured workloads
+and shows how CLANS turns each tree into a schedule: which clans were
+parallelized, how many processors were used, what speedup resulted —
+at both cheap and expensive communication.
+
+    python examples/clan_explorer.py
+"""
+
+from repro import ClansScheduler, granularity
+from repro.clans import ClanKind, decompose
+from repro.generation import workloads as w
+
+
+def describe(name: str, graph) -> None:
+    print("=" * 64)
+    print(f"{name}: {graph.n_tasks} tasks, {graph.n_edges} edges, "
+          f"granularity {granularity(graph):.2f}")
+    tree = decompose(graph)
+    counts = {kind: tree.count(kind) for kind in ClanKind}
+    print(
+        f"parse tree: depth {tree.depth()}, "
+        f"{counts[ClanKind.LINEAR]} linear / "
+        f"{counts[ClanKind.INDEPENDENT]} independent / "
+        f"{counts[ClanKind.PRIMITIVE]} primitive clans"
+    )
+    if graph.n_tasks <= 16:
+        print(tree.to_text())
+    scheduler = ClansScheduler()
+    schedule = scheduler.schedule(graph)
+    schedule.validate(graph)
+    print(
+        f"CLANS: parallel time {schedule.makespan:g} on "
+        f"{schedule.n_processors} processors "
+        f"(speedup {schedule.speedup(graph):.2f}"
+        f"{', macro fallback' if scheduler.last_fallback else ''})"
+    )
+
+
+def main() -> None:
+    for comm, label in [(2.0, "cheap communication"), (80.0, "expensive communication")]:
+        print(f"\n######## {label} (message cost {comm:g}) ########\n")
+        describe("fork-join(4x2)", w.fork_join(4, stages=2, comp=10, comm=comm))
+        describe("divide & conquer(depth 2)", w.divide_and_conquer(2, comp=10, comm=comm))
+        describe("FFT(8 points)", w.fft_graph(3, comp=10, comm=comm))
+        describe("Gaussian elimination(5)", w.gaussian_elimination(5, comp=10, comm=comm))
+
+
+if __name__ == "__main__":
+    main()

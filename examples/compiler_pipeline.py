@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""A parallelizing compiler choosing its scheduler by granularity.
+
+The paper's conclusion (section 5.2): "The same serial code may give
+different granularity when it is parallelized for a different
+multiprocessor, thus causing the compiler to choose a different scheduler
+for the new granularity."
+
+This example plays that compiler: one fixed program DAG (blocked Gaussian
+elimination), four target machines with different communication speeds,
+and a scheduler-selection pass driven by the measured granularity —
+exactly the decision table the paper's testbed is meant to inform.
+
+    python examples/compiler_pipeline.py
+"""
+
+from repro import granularity, granularity_band, paper_schedulers
+from repro.generation.workloads import gaussian_elimination
+
+#: Interconnects with their per-message cost for one block transfer,
+#: relative to a unit of compute.  (Numbers are illustrative.)
+MACHINES = {
+    "shared-memory SMP   ": 2.0,
+    "fast interconnect   ": 12.0,
+    "commodity ethernet  ": 60.0,
+    "wide-area cluster   ": 400.0,
+}
+
+BAND_NAMES = ["G < 0.08", "0.08-0.2", "0.2-0.8", "0.8-2", "G > 2"]
+
+
+def main() -> None:
+    print("Program: 6x6 blocked Gaussian elimination, block task = 50 units\n")
+    header = f"{'machine':22s} {'granularity':>11s} {'band':>9s}"
+    for s in paper_schedulers():
+        header += f"{s.name:>9s}"
+    header += f"{'chosen':>9s}"
+    print(header)
+
+    for machine, comm in MACHINES.items():
+        graph = gaussian_elimination(6, comp=50.0, comm=comm)
+        g = granularity(graph)
+        band = granularity_band(g)
+        row = f"{machine:22s} {g:11.3f} {BAND_NAMES[band]:>9s}"
+        times = {}
+        for scheduler in paper_schedulers():
+            schedule = scheduler.schedule(graph)
+            schedule.validate(graph)
+            times[scheduler.name] = schedule.makespan
+            row += f"{schedule.makespan:9.0f}"
+        chosen = min(times, key=times.get)
+        row += f"{chosen:>9s}"
+        print(row)
+
+    print(
+        "\nReading the table: as communication gets more expensive the"
+        "\ngranularity drops through the paper's bands, the critical-path and"
+        "\nlist schedulers fall off, and the graph-decomposition method"
+        "\n(CLANS) becomes the scheduler of choice - the paper's Table 3"
+        "\nconclusion, replayed on a real program DAG."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Mini reproduction of the paper's granularity analysis (Figures 1-2).
+
+Generates a reduced classified suite (section 3 / Table 1), runs all five
+heuristics, and renders Figure 1 (relative parallel time vs granularity)
+and Figure 2 (speedup vs granularity) as ASCII charts, plus Tables 2-4.
+
+    python examples/granularity_study.py [graphs_per_cell]
+"""
+
+import sys
+
+from repro.experiments.figures import figure1, figure2
+from repro.experiments.runner import run_suite
+from repro.experiments.tables import table2, table3, table4
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+def main() -> None:
+    per_cell = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    cells = [
+        SuiteCell(band, anchor, (20, 200))
+        for band in range(5)
+        for anchor in (2, 3, 4, 5)
+    ]
+    print(f"Generating {per_cell * len(cells)} classified graphs ...")
+    suite = list(generate_suite(graphs_per_cell=per_cell, cells=cells,
+                                n_tasks_range=(30, 70)))
+    print("Scheduling with CLANS, DSC, MCP, MH, HU ...\n")
+    results = run_suite(suite)
+
+    for build in (table2, table3, table4):
+        print(build(results))
+        print()
+    print(figure1(results).to_text())
+    print()
+    print(figure2(results).to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: build a weighted task graph and compare the five heuristics.
+
+This is the paper's appendix example (Figures 8-16): five tasks, node
+weights 10/20/30/40/50, communication costs on every edge.  Run:
+
+    python examples/quickstart.py
+"""
+
+from repro import TaskGraph, paper_schedulers
+from repro.clans import decompose
+
+
+def build_example() -> TaskGraph:
+    g = TaskGraph()
+    for task, weight in [(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]:
+        g.add_task(task, weight)
+    g.add_edge(1, 2, 5)  # edge weight = message cost if processors differ
+    g.add_edge(1, 3, 6)
+    g.add_edge(3, 4, 3)
+    g.add_edge(2, 5, 4)
+    g.add_edge(4, 5, 4)
+    return g
+
+
+def main() -> None:
+    graph = build_example()
+    print(f"Graph: {graph.n_tasks} tasks, {graph.n_edges} edges, "
+          f"serial time {graph.serial_time():g}\n")
+
+    print("Clan parse tree (what CLANS sees):")
+    print(decompose(graph).to_text())
+    print()
+
+    print(f"{'heuristic':10s} {'parallel time':>13s} {'procs':>6s} "
+          f"{'speedup':>8s} {'efficiency':>10s}")
+    for scheduler in paper_schedulers():
+        schedule = scheduler.schedule(graph)
+        schedule.validate(graph)  # checked against the shared model
+        print(
+            f"{scheduler.name:10s} {schedule.makespan:13g} "
+            f"{schedule.n_processors:6d} {schedule.speedup(graph):8.2f} "
+            f"{schedule.efficiency(graph):10.2f}"
+        )
+
+    print("\nCLANS schedule (parallel time 130, as in the paper's Fig. 16):")
+    best = paper_schedulers()[0].schedule(graph)
+    print(best.to_gantt())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Clan decomposition: the graph-parsing substrate behind CLANS."""
+
+from .decomposition import clan_parse_tree, decompose, is_clan
+from .parse_tree import ClanKind, ClanNode
+from .properties import (
+    ClanTreeStats,
+    enumerate_clans,
+    tree_statistics,
+    verify_parse_tree,
+)
+from .relations import ABOVE, BELOW, UNRELATED, RelationMatrix
+
+__all__ = [
+    "decompose",
+    "clan_parse_tree",
+    "is_clan",
+    "ClanKind",
+    "ClanNode",
+    "RelationMatrix",
+    "enumerate_clans",
+    "verify_parse_tree",
+    "tree_statistics",
+    "ClanTreeStats",
+    "ABOVE",
+    "BELOW",
+    "UNRELATED",
+]

@@ -1,0 +1,77 @@
+"""Ancestor/descendant relation matrices for clan decomposition.
+
+A clan (paper, appendix A.5) is defined through the *transitive* ancestor and
+descendant relations of the DAG.  This module computes, for a task graph, the
+three-valued relation every pair of vertices stands in:
+
+* ``ABOVE``   — u is a (strict) ancestor of v,
+* ``BELOW``   — u is a (strict) descendant of v,
+* ``UNRELATED`` — neither (the vertices are incomparable).
+
+The matrix is the "2-structure" whose modules are exactly the clans.
+Computed with a numpy boolean reachability closure: O(n * e / word) time,
+n <= a few hundred in this testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.taskgraph import Task, TaskGraph
+
+__all__ = ["Relation", "RelationMatrix", "ABOVE", "BELOW", "UNRELATED"]
+
+UNRELATED: int = 0
+ABOVE: int = 1
+BELOW: int = 2
+
+Relation = int
+
+
+class RelationMatrix:
+    """Pairwise ancestor/descendant relations of a DAG's vertices."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.tasks: list[Task] = graph.topological_order()
+        self.index: dict[Task, int] = {t: i for i, t in enumerate(self.tasks)}
+        n = len(self.tasks)
+        # reach[i, j] == True iff there is a nonempty path i -> j.
+        reach = np.zeros((n, n), dtype=bool)
+        adj = np.zeros((n, n), dtype=bool)
+        for u in self.tasks:
+            iu = self.index[u]
+            for v in graph.successors(u):
+                adj[iu, self.index[v]] = True
+        # Sweep in reverse topological order: reach(u) = succ(u) + reach(succ).
+        for i in range(n - 1, -1, -1):
+            row = adj[i].copy()
+            for j in np.flatnonzero(adj[i]):
+                row |= reach[j]
+            reach[i] = row
+        self._reach = reach
+        rel = np.zeros((n, n), dtype=np.int8)
+        rel[reach] = ABOVE
+        rel[reach.T] = BELOW  # reach is antisymmetric on a DAG, no overlap
+        self._rel = rel
+
+    @property
+    def n(self) -> int:
+        return len(self.tasks)
+
+    def rel(self, u: Task, v: Task) -> Relation:
+        """Relation of ``u`` to ``v``: ABOVE if u is an ancestor of v, etc."""
+        return int(self._rel[self.index[u], self.index[v]])
+
+    def rel_idx(self, i: int, j: int) -> Relation:
+        return int(self._rel[i, j])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full int8 relation matrix (rows/cols in topological order)."""
+        return self._rel
+
+    def is_ancestor(self, u: Task, v: Task) -> bool:
+        return bool(self._reach[self.index[u], self.index[v]])
+
+    def comparable_idx(self, i: int, j: int) -> bool:
+        return self._rel[i, j] != UNRELATED

@@ -1,0 +1,286 @@
+"""Command-line interface for the scheduling testbed.
+
+Subcommands::
+
+    repro-sched schedule  <graph.json> --heuristic CLANS [--gantt]
+    repro-sched classify  <graph.json>
+    repro-sched generate  --band 2 --anchor 3 --wmin 20 --wmax 100 -n 40 -o g.json
+    repro-sched experiment --graphs-per-cell 4 [--tables 2,3,4] [--figures 1,2]
+    repro-sched workload  fft --param 3 -o fft.json
+
+Graphs are exchanged as JSON (``TaskGraph.to_dict`` format).  Also runnable
+as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .core.metrics import anchor_out_degree, granularity, node_weight_range
+from .core.taskgraph import TaskGraph
+from .experiments.figures import ALL_FIGURES
+from .experiments.report import full_report
+from .experiments.runner import run_suite
+from .experiments.tables import ALL_TABLES
+from .generation import workloads
+from .generation.random_dag import generate_pdg
+from .generation.suites import generate_suite
+from .schedulers.base import SCHEDULER_REGISTRY, get_scheduler
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str) -> TaskGraph:
+    with open(path) as fh:
+        return TaskGraph.from_dict(json.load(fh))
+
+
+def _save_graph(graph: TaskGraph, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph.to_dict(), fh, indent=1)
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    sched = get_scheduler(args.heuristic)
+    if args.improve:
+        from .schedulers.improve import LocalSearchImprover
+
+        sched = LocalSearchImprover(sched)
+    schedule = sched.schedule(graph)
+    schedule.validate(graph)
+    print(f"heuristic      : {sched.name}")
+    print(f"tasks          : {graph.n_tasks}")
+    print(f"serial time    : {graph.serial_time():g}")
+    print(f"parallel time  : {schedule.makespan:g}")
+    print(f"processors     : {schedule.n_processors}")
+    print(f"speedup        : {schedule.speedup(graph):.3f}")
+    print(f"efficiency     : {schedule.efficiency(graph):.3f}")
+    if args.gantt:
+        print(schedule.to_gantt())
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    lo, hi = node_weight_range(graph)
+    print(f"tasks             : {graph.n_tasks}")
+    print(f"edges             : {graph.n_edges}")
+    print(f"granularity       : {granularity(graph):.4f}")
+    print(f"anchor out-degree : {anchor_out_degree(graph)}")
+    print(f"node weight range : [{lo:g}, {hi:g}]")
+    print(f"serial time       : {graph.serial_time():g}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    graph = generate_pdg(
+        rng,
+        n_tasks=args.n_tasks,
+        band=args.band,
+        anchor=args.anchor,
+        weight_range=(args.wmin, args.wmax),
+    )
+    _save_graph(graph, args.output)
+    print(
+        f"wrote {graph.n_tasks}-task graph (G={granularity(graph):.4f}, "
+        f"anchor={anchor_out_degree(graph)}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    factories = {
+        "chain": lambda p: workloads.chain(p),
+        "fork_join": lambda p: workloads.fork_join(p),
+        "fft": lambda p: workloads.fft_graph(p),
+        "gauss": lambda p: workloads.gaussian_elimination(p),
+        "dnc": lambda p: workloads.divide_and_conquer(p),
+        "stencil": lambda p: workloads.stencil_1d(p, p),
+        "cholesky": lambda p: workloads.cholesky(p),
+        "wavefront": lambda p: workloads.wavefront(p, p),
+    }
+    graph = factories[args.kind](args.param)
+    _save_graph(graph, args.output)
+    print(f"wrote {args.kind}({args.param}) with {graph.n_tasks} tasks to {args.output}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.persistence import load_results, save_results
+
+    if args.load:
+        results = load_results(args.load)
+    else:
+        suite = generate_suite(
+            graphs_per_cell=args.graphs_per_cell,
+            seed=args.seed,
+            n_tasks_range=(args.nmin, args.nmax),
+        )
+        total = args.graphs_per_cell * 60
+
+        def progress(i, _gr):
+            if args.progress and i % 50 == 0:
+                print(f"  {i}/{total} graphs", file=sys.stderr)
+
+        results = run_suite(suite, progress=progress)
+    if args.save:
+        save_results(results, args.save)
+        print(f"saved {len(results)} graph results to {args.save}", file=sys.stderr)
+    tables = _parse_ids(args.tables, ALL_TABLES) if args.tables else sorted(ALL_TABLES)
+    figures = _parse_ids(args.figures, ALL_FIGURES) if args.figures else []
+    for tid in tables:
+        print(ALL_TABLES[tid](results))
+        print()
+    for fid in figures:
+        print(ALL_FIGURES[fid](results).to_text())
+        print()
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .schedulers.base import SCHEDULER_REGISTRY
+
+    print(f"{'name':8s} {'class':22s} summary")
+    for name in sorted(SCHEDULER_REGISTRY):
+        cls = SCHEDULER_REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {cls.__name__:22s} {doc}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = full_report(
+        graphs_per_cell=args.graphs_per_cell,
+        seed=args.seed,
+        n_tasks_range=(args.nmin, args.nmax),
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .viz import schedule_to_svg, schedule_to_trace
+
+    graph = _load_graph(args.graph)
+    schedule = get_scheduler(args.heuristic).schedule(graph)
+    schedule.validate(graph)
+    if args.format == "svg":
+        payload = schedule_to_svg(schedule)
+    else:
+        payload = schedule_to_trace(schedule)
+    with open(args.output, "w") as fh:
+        fh.write(payload)
+    print(
+        f"wrote {args.format} for {get_scheduler(args.heuristic).name} "
+        f"(makespan {schedule.makespan:g}) to {args.output}"
+    )
+    return 0
+
+
+def _parse_ids(spec: str, known: dict) -> list[int]:
+    ids = [int(x) for x in spec.split(",") if x.strip()]
+    bad = [i for i in ids if i not in known]
+    if bad:
+        raise SystemExit(f"unknown ids {bad}; known: {sorted(known)}")
+    return ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Multiprocessor scheduling heuristic testbed (ICPP 1994 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="schedule a graph with one heuristic")
+    p.add_argument("graph", help="graph JSON file")
+    p.add_argument(
+        "--heuristic",
+        default="CLANS",
+        choices=sorted(SCHEDULER_REGISTRY),
+        help="scheduler to run",
+    )
+    p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p.add_argument(
+        "--improve",
+        action="store_true",
+        help="run local-search improvement on the heuristic's schedule",
+    )
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("classify", help="print a graph's classification metrics")
+    p.add_argument("graph", help="graph JSON file")
+    p.set_defaults(func=_cmd_classify)
+
+    p = sub.add_parser("generate", help="generate one random PDG")
+    p.add_argument("--band", type=int, required=True, help="granularity band 0..4")
+    p.add_argument("--anchor", type=int, required=True, help="anchor out-degree")
+    p.add_argument("--wmin", type=int, default=20)
+    p.add_argument("--wmax", type=int, default=100)
+    p.add_argument("-n", "--n-tasks", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("workload", help="emit a structured workload graph")
+    p.add_argument(
+        "kind",
+        choices=["chain", "fork_join", "fft", "gauss", "dnc", "stencil", "cholesky", "wavefront"],
+    )
+    p.add_argument("--param", type=int, default=4, help="size parameter")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_workload)
+
+    p = sub.add_parser("list", help="list the registered schedulers")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("report", help="run the suite and write a markdown report")
+    p.add_argument("--graphs-per-cell", type=int, default=4)
+    p.add_argument("--seed", type=int, default=19940815)
+    p.add_argument("--nmin", type=int, default=40)
+    p.add_argument("--nmax", type=int, default=100)
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("export", help="export a schedule as SVG or Chrome trace")
+    p.add_argument("graph", help="graph JSON file")
+    p.add_argument("--heuristic", default="CLANS", choices=sorted(SCHEDULER_REGISTRY))
+    p.add_argument("--format", default="svg", choices=["svg", "trace"])
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("experiment", help="run the suite and print tables/figures")
+    p.add_argument("--graphs-per-cell", type=int, default=4)
+    p.add_argument("--seed", type=int, default=19940815)
+    p.add_argument("--nmin", type=int, default=40)
+    p.add_argument("--nmax", type=int, default=100)
+    p.add_argument("--tables", help="comma-separated table numbers (default: all)")
+    p.add_argument("--figures", help="comma-separated figure numbers")
+    p.add_argument("--progress", action="store_true")
+    p.add_argument("--save", help="save raw results JSON to this path")
+    p.add_argument("--load", help="skip the run; load results JSON from this path")
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

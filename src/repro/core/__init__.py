@@ -1,0 +1,68 @@
+"""Core substrate: task graphs, analysis, metrics, schedules, simulator."""
+
+from .analysis import (
+    alap_times,
+    asap_times,
+    b_levels,
+    critical_path,
+    critical_path_length,
+    dominant_path_length,
+    hu_levels,
+    t_levels,
+)
+from .exceptions import (
+    CycleError,
+    DecompositionError,
+    GenerationError,
+    GraphError,
+    ReproError,
+    ScheduleError,
+)
+from .lowerbounds import best_bound, cp_bound, density_bound, work_bound
+from .metrics import (
+    GRANULARITY_BANDS,
+    anchor_out_degree,
+    granularity,
+    granularity_band,
+    node_weight_range,
+)
+from .schedule import Schedule, ScheduledTask
+from .stats import GraphStats, ScheduleStats, graph_stats, schedule_stats
+from .simulator import serial_schedule, simulate_clustering, simulate_ordered
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "TaskGraph",
+    "Schedule",
+    "ScheduledTask",
+    "simulate_ordered",
+    "simulate_clustering",
+    "serial_schedule",
+    "t_levels",
+    "b_levels",
+    "hu_levels",
+    "alap_times",
+    "asap_times",
+    "critical_path",
+    "critical_path_length",
+    "dominant_path_length",
+    "granularity",
+    "granularity_band",
+    "anchor_out_degree",
+    "node_weight_range",
+    "GRANULARITY_BANDS",
+    "cp_bound",
+    "work_bound",
+    "density_bound",
+    "best_bound",
+    "graph_stats",
+    "schedule_stats",
+    "GraphStats",
+    "ScheduleStats",
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "ScheduleError",
+    "DecompositionError",
+    "GenerationError",
+]

@@ -1,0 +1,149 @@
+"""Path analysis on weighted task graphs.
+
+These are the shared quantities the heuristics are built from:
+
+* **t-level** (top level): longest path length from any source to a task,
+  *excluding* the task's own execution time.  With communication, edge weights
+  are counted on the path; without, only node weights.
+* **b-level** (bottom level): longest path length from the start of a task to
+  any sink, *including* the task's own execution time.  The paper (appendix)
+  calls the communication-inclusive b-level simply ``level`` ("the length of
+  the longest path from the start of n_x to an exit node"); the
+  communication-free b-level is the classical Hu level.
+* **ALAP time**: latest start time that does not stretch the critical path,
+  used by MCP.
+* **critical path**: a path realizing ``max(t-level + b-level)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from .exceptions import GraphError
+from .taskgraph import Task, TaskGraph
+
+__all__ = [
+    "t_levels",
+    "b_levels",
+    "hu_levels",
+    "alap_times",
+    "asap_times",
+    "critical_path",
+    "critical_path_length",
+    "dominant_path_length",
+]
+
+
+def t_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
+    """Longest source-to-task path length excluding the task's own weight.
+
+    ``communication=True`` counts edge weights along paths (the model where
+    every edge crosses processors); ``False`` counts node weights only.
+    """
+    tl: dict[Task, float] = {}
+    for t in graph.topological_order():
+        best = 0.0
+        for p, c in graph.in_edges(t).items():
+            cand = tl[p] + graph.weight(p) + (c if communication else 0.0)
+            if cand > best:
+                best = cand
+        tl[t] = best
+    return tl
+
+
+def b_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
+    """Longest task-to-sink path length including the task's own weight."""
+    bl: dict[Task, float] = {}
+    for t in reversed(graph.topological_order()):
+        best = 0.0
+        for s, c in graph.out_edges(t).items():
+            cand = bl[s] + (c if communication else 0.0)
+            if cand > best:
+                best = cand
+        bl[t] = best + graph.weight(t)
+    return bl
+
+
+def hu_levels(graph: TaskGraph) -> dict[Task, float]:
+    """Classical Hu levels: communication-free b-levels (appendix A.4)."""
+    return b_levels(graph, communication=False)
+
+
+def critical_path_length(graph: TaskGraph, *, communication: bool = True) -> float:
+    """Weight of the heaviest source-to-sink path (0 for an empty graph)."""
+    bl = b_levels(graph, communication=communication)
+    return max((bl[s] for s in graph.sources()), default=0.0)
+
+
+def dominant_path_length(graph: TaskGraph) -> float:
+    """Alias used in the DSC literature: communication-inclusive CP length."""
+    return critical_path_length(graph, communication=True)
+
+
+def critical_path(graph: TaskGraph, *, communication: bool = True) -> list[Task]:
+    """One maximal-weight source-to-sink path, in execution order.
+
+    Ties are broken deterministically by following the first maximal
+    successor in iteration order.
+    """
+    if graph.n_tasks == 0:
+        return []
+    bl = b_levels(graph, communication=communication)
+    node = max(graph.sources(), key=lambda s: (bl[s],))
+    path = [node]
+    while graph.out_degree(node):
+        best_s, best_val = None, -1.0
+        for s, c in graph.out_edges(node).items():
+            val = bl[s] + (c if communication else 0.0)
+            if val > best_val:
+                best_s, best_val = s, val
+        assert best_s is not None
+        path.append(best_s)
+        node = best_s
+    return path
+
+
+def asap_times(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
+    """Earliest start times assuming unlimited processors.
+
+    Identical to :func:`t_levels`; provided under the scheduling-literature
+    name for readability at call sites.
+    """
+    return t_levels(graph, communication=communication)
+
+
+def alap_times(
+    graph: TaskGraph,
+    *,
+    communication: bool = True,
+    deadline: float | None = None,
+) -> dict[Task, float]:
+    """Latest start times that keep every path within ``deadline``.
+
+    ``deadline`` defaults to the critical-path length, which makes the ALAP
+    time of every critical task equal to its ASAP time.  MCP (appendix A.2)
+    computes these with all communication costs assumed incurred.
+    """
+    bl = b_levels(graph, communication=communication)
+    cp = max(bl.values(), default=0.0)
+    if deadline is None:
+        deadline = cp
+    elif deadline < cp:
+        raise GraphError(f"deadline {deadline} below critical path length {cp}")
+    return {t: deadline - bl[t] for t in graph.tasks()}
+
+
+def validate_levels(graph: TaskGraph, tl: Mapping[Task, float], bl: Mapping[Task, float]) -> None:
+    """Debug helper: check the defining recurrences of t/b-levels (with comm)."""
+    for t in graph.tasks():
+        expect_t = max(
+            (tl[p] + graph.weight(p) + c for p, c in graph.in_edges(t).items()),
+            default=0.0,
+        )
+        if abs(expect_t - tl[t]) > 1e-9:
+            raise GraphError(f"t-level recurrence violated at {t!r}")
+        expect_b = graph.weight(t) + max(
+            (bl[s] + c for s, c in graph.out_edges(t).items()), default=0.0
+        )
+        if abs(expect_b - bl[t]) > 1e-9:
+            raise GraphError(f"b-level recurrence violated at {t!r}")

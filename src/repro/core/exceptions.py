@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A task graph is malformed or an operation on it is invalid."""
+
+
+class CycleError(GraphError):
+    """The directed graph contains a cycle and therefore is not a DAG."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is invalid under the paper's execution model."""
+
+
+class DecompositionError(ReproError):
+    """Clan (modular) decomposition failed an internal invariant."""
+
+
+class GenerationError(ReproError):
+    """Random graph generation could not satisfy the requested constraints."""

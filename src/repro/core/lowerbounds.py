@@ -1,0 +1,93 @@
+"""Makespan lower bounds.
+
+The paper's central difficulty (section 1) is that scheduling is NP-hard,
+so heuristics can only be compared *relatively*.  Lower bounds give a
+partial absolute footing: any valid schedule's makespan is at least
+
+* :func:`cp_bound` — the communication-free critical path (no schedule can
+  shorten a dependence chain, and same-processor placement erases all
+  communication);
+* :func:`work_bound` — total work divided by the processor count (with an
+  unbounded pool this degenerates to the largest single task weight);
+* :func:`density_bound` — Fernández & Bussell's refinement for bounded
+  pools: for the time window [t1, t2] of the ASAP/ALAP corridor, at least
+  the work that *must* execute inside every such window has to fit into
+  ``p * (t2 - t1)``.
+
+``best_bound`` combines them.  All bounds are exercised as test oracles:
+every schedule produced anywhere in the library must dominate them.
+"""
+
+from __future__ import annotations
+
+from .analysis import alap_times, asap_times, critical_path_length
+from .exceptions import GraphError
+from .taskgraph import TaskGraph
+
+__all__ = ["cp_bound", "work_bound", "density_bound", "best_bound"]
+
+
+def cp_bound(graph: TaskGraph) -> float:
+    """Communication-free critical path length."""
+    return critical_path_length(graph, communication=False)
+
+
+def work_bound(graph: TaskGraph, n_processors: int | None = None) -> float:
+    """``total work / p`` for a bounded pool; max task weight if unbounded."""
+    if n_processors is None:
+        return max((graph.weight(t) for t in graph.tasks()), default=0.0)
+    if n_processors < 1:
+        raise GraphError(f"need at least one processor, got {n_processors}")
+    return graph.serial_time() / n_processors
+
+
+def density_bound(graph: TaskGraph, n_processors: int) -> float:
+    """Fernández-style interval-density bound for ``p`` processors.
+
+    Using communication-free ASAP times and ALAP times relative to the
+    communication-free critical path ``cp``: a task with ASAP ``a`` and
+    ALAP ``l`` must execute entirely inside ``[a, l + w]``.  For any
+    window ``[t1, t2]`` drawn from those event points, the work that
+    cannot escape the window is ``sum over tasks of
+    max(0, w - max(0, t1 - a) - max(0, (l + w) - t2))`` … simplified here
+    to the standard overlap form.  If that mandatory work exceeds
+    ``p * (t2 - t1)``, the deadline ``cp`` is infeasible and the bound
+    rises by the overflow.
+
+    Returns ``cp + max overflow / p`` over all windows — always >= cp.
+    """
+    if n_processors < 1:
+        raise GraphError(f"need at least one processor, got {n_processors}")
+    if graph.n_tasks == 0:
+        return 0.0
+    asap = asap_times(graph, communication=False)
+    alap = alap_times(graph, communication=False)
+    cp = cp_bound(graph)
+    tasks = graph.tasks()
+    points = sorted({asap[t] for t in tasks} | {alap[t] + graph.weight(t) for t in tasks})
+    best_overflow = 0.0
+    for i, t1 in enumerate(points):
+        for t2 in points[i + 1 :]:
+            window = t2 - t1
+            mandatory = 0.0
+            for t in tasks:
+                w = graph.weight(t)
+                lo, hi = asap[t], alap[t] + w
+                # work that must lie inside [t1, t2] however the task slides
+                slack_left = max(0.0, t1 - lo)
+                slack_right = max(0.0, hi - t2)
+                inside = w - slack_left - slack_right
+                if inside > 0:
+                    mandatory += min(inside, w, window)
+            overflow = mandatory / n_processors - window
+            if overflow > best_overflow:
+                best_overflow = overflow
+    return cp + best_overflow
+
+
+def best_bound(graph: TaskGraph, n_processors: int | None = None) -> float:
+    """The tightest of the applicable bounds."""
+    bounds = [cp_bound(graph), work_bound(graph, n_processors)]
+    if n_processors is not None and graph.n_tasks <= 60:
+        bounds.append(density_bound(graph, n_processors))
+    return max(bounds)

@@ -1,0 +1,249 @@
+"""Schedules and their validation under the paper's execution model.
+
+A schedule maps every task to a (processor, start time) pair.  Section 2 of
+the paper fixes the model all heuristics are judged under:
+
+1. same-processor communication is free; cross-processor communication costs
+   the edge weight, independent of which two processors are involved;
+2. unbounded pool of homogeneous, fully connected processors;
+3. no task duplication (each task appears exactly once);
+4. communication is asynchronous and overlaps computation — the sender is not
+   blocked, messages may be multicast, and a message sent at the producer's
+   finish time arrives ``edge weight`` later;
+5. the objective is the makespan (latest finish time), called *parallel time*.
+
+:meth:`Schedule.validate` checks all of these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from .exceptions import ScheduleError
+from .taskgraph import Task, TaskGraph
+
+__all__ = ["ScheduledTask", "Schedule"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of one task: processor index, start and finish times."""
+
+    task: Task
+    processor: int
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.processor < 0:
+            raise ScheduleError(f"negative processor for {self.task!r}")
+        if self.start < 0:
+            raise ScheduleError(f"negative start time for {self.task!r}")
+        if self.finish < self.start - _EPS:
+            raise ScheduleError(f"finish before start for {self.task!r}")
+
+
+class Schedule:
+    """An immutable-by-convention mapping of tasks to placements."""
+
+    def __init__(self, placements: Mapping[Task, ScheduledTask] | None = None) -> None:
+        self._by_task: dict[Task, ScheduledTask] = dict(placements or {})
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def place(self, task: Task, processor: int, start: float, duration: float) -> None:
+        """Record a placement; rejects double-placement (no duplication)."""
+        if task in self._by_task:
+            raise ScheduleError(f"task {task!r} already placed (duplication forbidden)")
+        self._by_task[task] = ScheduledTask(task, processor, start, start + duration)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_task)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._by_task
+
+    def __iter__(self) -> Iterator[ScheduledTask]:
+        return iter(self._by_task.values())
+
+    def __getitem__(self, task: Task) -> ScheduledTask:
+        try:
+            return self._by_task[task]
+        except KeyError:
+            raise ScheduleError(f"task {task!r} not in schedule") from None
+
+    def processor_of(self, task: Task) -> int:
+        """Processor index ``task`` is placed on."""
+        return self[task].processor
+
+    def start(self, task: Task) -> float:
+        """Start time of ``task``."""
+        return self[task].start
+
+    def finish(self, task: Task) -> float:
+        """Finish time of ``task``."""
+        return self[task].finish
+
+    @property
+    def makespan(self) -> float:
+        """Parallel time: the latest finish over all tasks (0 if empty)."""
+        return max((p.finish for p in self._by_task.values()), default=0.0)
+
+    @property
+    def processors(self) -> list[int]:
+        """Sorted list of processor indices actually used."""
+        return sorted({p.processor for p in self._by_task.values()})
+
+    @property
+    def n_processors(self) -> int:
+        return len({p.processor for p in self._by_task.values()})
+
+    def tasks_on(self, processor: int) -> list[ScheduledTask]:
+        """Placements on one processor, ordered by start time."""
+        return sorted(
+            (p for p in self._by_task.values() if p.processor == processor),
+            key=lambda p: (p.start, p.finish),
+        )
+
+    def clusters(self) -> list[list[Task]]:
+        """Per-processor task lists in execution order, by processor index."""
+        return [[p.task for p in self.tasks_on(proc)] for proc in self.processors]
+
+    # ------------------------------------------------------------------
+    # derived measures (paper section 4)
+    # ------------------------------------------------------------------
+    def speedup(self, graph: TaskGraph) -> float:
+        """``serial time / parallel time``."""
+        if self.makespan <= 0:
+            raise ScheduleError("speedup undefined for zero-makespan schedule")
+        return graph.serial_time() / self.makespan
+
+    def efficiency(self, graph: TaskGraph) -> float:
+        """``speedup / processors used``."""
+        n = self.n_processors
+        if n == 0:
+            raise ScheduleError("efficiency undefined for empty schedule")
+        return self.speedup(graph) / n
+
+    def busy_fraction(self) -> float:
+        """Mean fraction of [0, makespan] each used processor spends computing."""
+        span = self.makespan
+        if span <= 0 or not self._by_task:
+            return 0.0
+        per_proc: dict[int, float] = {}
+        for p in self._by_task.values():
+            per_proc[p.processor] = per_proc.get(p.processor, 0.0) + (p.finish - p.start)
+        return sum(b / span for b in per_proc.values()) / len(per_proc)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, graph: TaskGraph) -> None:
+        """Check the schedule against ``graph`` under the paper's model.
+
+        Raises :class:`ScheduleError` on: missing/extra tasks, wrong
+        durations, overlapping tasks on a processor, or a task starting
+        before one of its inputs has arrived.
+        """
+        placed = set(self._by_task)
+        tasks = set(graph.tasks())
+        if placed != tasks:
+            missing = tasks - placed
+            extra = placed - tasks
+            raise ScheduleError(
+                f"task set mismatch: missing={sorted(map(repr, missing))}, "
+                f"extra={sorted(map(repr, extra))}"
+            )
+        for p in self._by_task.values():
+            expect = graph.weight(p.task)
+            if abs((p.finish - p.start) - expect) > _EPS:
+                raise ScheduleError(
+                    f"task {p.task!r} runs {p.finish - p.start}, weight is {expect}"
+                )
+        for proc in self.processors:
+            row = self.tasks_on(proc)
+            for a, b in zip(row, row[1:]):
+                if b.start < a.finish - _EPS:
+                    raise ScheduleError(
+                        f"tasks {a.task!r} and {b.task!r} overlap on processor {proc}"
+                    )
+        for u, v in graph.edges():
+            pu, pv = self._by_task[u], self._by_task[v]
+            arrival = pu.finish
+            if pu.processor != pv.processor:
+                arrival += graph.edge_weight(u, v)
+            if pv.start < arrival - _EPS:
+                raise ScheduleError(
+                    f"task {v!r} starts at {pv.start} before its input from "
+                    f"{u!r} arrives at {arrival}"
+                )
+
+    def is_valid(self, graph: TaskGraph) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(graph)
+        except ScheduleError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-serializable description (tuple task ids round-trip)."""
+        return {
+            "placements": [
+                [p.task, p.processor, p.start, p.finish]
+                for p in self._by_task.values()
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Schedule":
+        """Rebuild a schedule written by :meth:`to_dict`."""
+
+        def thaw(t):
+            return tuple(thaw(x) for x in t) if isinstance(t, list) else t
+
+        s = cls()
+        for task, proc, start, finish in data["placements"]:
+            s.place(thaw(task), proc, start, finish - start)
+        return s
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def to_gantt(self, width: int = 72) -> str:
+        """A coarse ASCII Gantt chart, one row per processor."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty schedule)"
+        scale = (width - 1) / span
+        lines = []
+        for proc in self.processors:
+            cells = [" "] * width
+            for p in self.tasks_on(proc):
+                lo = int(p.start * scale)
+                hi = max(lo + 1, int(p.finish * scale))
+                label = str(p.task)
+                for i in range(lo, min(hi, width)):
+                    cells[i] = "#"
+                for i, ch in enumerate(label[: hi - lo]):
+                    if lo + i < width:
+                        cells[lo + i] = ch
+            lines.append(f"P{proc:<3d}|{''.join(cells)}|")
+        lines.append(f"     0{' ' * (width - len(f'{span:g}') - 1)}{span:g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(n_tasks={len(self)}, n_processors={self.n_processors}, "
+            f"makespan={self.makespan:g})"
+        )

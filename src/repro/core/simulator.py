@@ -1,0 +1,154 @@
+"""Shared execution-timing simulator.
+
+The paper's testbed judges every heuristic under one execution model
+(section 2).  The clustering heuristics (DSC, CLANS) produce *clusters* —
+processor assignments with a per-processor execution order — and this module
+turns such a clustering into a timed :class:`~repro.core.schedule.Schedule`
+using the shared model:
+
+    start(t) = max( processor free time,
+                    max over predecessors p of
+                        finish(p) + c(p, t) * [proc(p) != proc(t)] )
+
+Communication overlaps computation (assumption 4): producers are never
+blocked by sends, and multicasts are free.
+
+Two entry points:
+
+* :func:`simulate_ordered` — the caller supplies per-processor task orders.
+* :func:`simulate_clustering` — the caller supplies only the assignment;
+  orders are derived from a priority (b-level by default), which is the
+  convention in the clustering literature.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .analysis import b_levels
+from .exceptions import ScheduleError
+from .schedule import Schedule
+from .taskgraph import Task, TaskGraph
+
+__all__ = ["simulate_ordered", "simulate_clustering", "serial_schedule"]
+
+
+def simulate_ordered(graph: TaskGraph, clusters: Sequence[Sequence[Task]]) -> Schedule:
+    """Time a clustering whose per-processor execution order is fixed.
+
+    ``clusters[i]`` is the ordered task list of processor ``i``.  Every task
+    must appear exactly once.  The combined constraints (DAG precedence plus
+    cluster order) must be acyclic, otherwise the clustering deadlocks and a
+    :class:`ScheduleError` is raised.
+    """
+    proc_of: dict[Task, int] = {}
+    position: dict[Task, int] = {}
+    for i, cluster in enumerate(clusters):
+        for j, t in enumerate(cluster):
+            if t in proc_of:
+                raise ScheduleError(f"task {t!r} appears in more than one cluster")
+            proc_of[t] = i
+            position[t] = j
+    missing = set(graph.tasks()) - set(proc_of)
+    if missing:
+        raise ScheduleError(f"tasks not clustered: {sorted(map(repr, missing))}")
+    extra = set(proc_of) - set(graph.tasks())
+    if extra:
+        raise ScheduleError(f"unknown tasks clustered: {sorted(map(repr, extra))}")
+
+    # Count unmet constraints per task: DAG predecessors + cluster predecessor.
+    waiting: dict[Task, int] = {}
+    for t in graph.tasks():
+        waiting[t] = graph.in_degree(t) + (1 if position[t] > 0 else 0)
+    ready = [t for t, w in waiting.items() if w == 0]
+
+    schedule = Schedule()
+    proc_free = [0.0] * len(clusters)
+    done = 0
+    while ready:
+        t = ready.pop()
+        p = proc_of[t]
+        start = proc_free[p]
+        for pred, c in graph.in_edges(t).items():
+            arrival = schedule.finish(pred) + (c if proc_of[pred] != p else 0.0)
+            if arrival > start:
+                start = arrival
+        schedule.place(t, p, start, graph.weight(t))
+        proc_free[p] = schedule.finish(t)
+        done += 1
+        # release DAG successors and the next task in this cluster
+        for s in graph.successors(t):
+            waiting[s] -= 1
+            if waiting[s] == 0:
+                ready.append(s)
+        nxt_pos = position[t] + 1
+        if nxt_pos < len(clusters[p]):
+            nxt = clusters[p][nxt_pos]
+            waiting[nxt] -= 1
+            if waiting[nxt] == 0:
+                ready.append(nxt)
+    if done != graph.n_tasks:
+        raise ScheduleError(
+            "clustering deadlocks: cluster orders conflict with precedence"
+        )
+    return schedule
+
+
+def simulate_clustering(
+    graph: TaskGraph,
+    assignment: Mapping[Task, int],
+    *,
+    priority: Mapping[Task, float] | None = None,
+) -> Schedule:
+    """Time a processor assignment, deriving per-processor execution orders.
+
+    Tasks are laid out in a global topological order sorted by descending
+    ``priority`` (communication-inclusive b-level when omitted); each
+    processor executes its tasks in that order.  Because each cluster order
+    is a subsequence of one global topological order, the result never
+    deadlocks.
+    """
+    tasks = set(graph.tasks())
+    if set(assignment) != tasks:
+        raise ScheduleError("assignment does not cover exactly the graph's tasks")
+    if priority is None:
+        priority = b_levels(graph, communication=True)
+
+    procs = sorted(set(assignment.values()))
+    remap = {p: i for i, p in enumerate(procs)}
+    clusters: list[list[Task]] = [[] for _ in procs]
+    for t in _priority_topological_order(graph, priority):
+        clusters[remap[assignment[t]]].append(t)
+    return simulate_ordered(graph, clusters)
+
+
+def serial_schedule(graph: TaskGraph) -> Schedule:
+    """All tasks on processor 0 in topological order — the serial baseline."""
+    return simulate_ordered(graph, [graph.topological_order()])
+
+
+def _priority_topological_order(
+    graph: TaskGraph, priority: Mapping[Task, float]
+) -> list[Task]:
+    """Topological order breaking ties by larger priority first.
+
+    Deterministic: secondary tie-break is insertion order via a stable sort
+    on each extraction batch.
+    """
+    import heapq
+
+    indeg = {t: graph.in_degree(t) for t in graph.tasks()}
+    seq = {t: i for i, t in enumerate(graph.tasks())}
+    heap = [(-priority[t], seq[t], t) for t in graph.tasks() if indeg[t] == 0]
+    heapq.heapify(heap)
+    order: list[Task] = []
+    while heap:
+        _, _, t = heapq.heappop(heap)
+        order.append(t)
+        for s in graph.successors(t):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(heap, (-priority[s], seq[s], s))
+    if len(order) != graph.n_tasks:
+        raise ScheduleError("graph contains a cycle")
+    return order

@@ -1,0 +1,141 @@
+"""Descriptive statistics for task graphs and schedules.
+
+The paper classifies graphs by three metrics (section 3); this module adds
+the wider set of descriptive statistics a testbed report needs: shape
+measures for graphs (height, width, inherent parallelism, communication
+ratio) and quality measures for schedules (idle fractions, cross-processor
+traffic, load balance).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .analysis import critical_path_length
+from .exceptions import GraphError
+from .schedule import Schedule
+from .taskgraph import TaskGraph
+
+__all__ = ["GraphStats", "ScheduleStats", "graph_stats", "schedule_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Structural summary of a weighted DAG."""
+
+    n_tasks: int
+    n_edges: int
+    n_sources: int
+    n_sinks: int
+    serial_time: float
+    cp_length: float  # communication-inclusive critical path
+    cp_length_comm_free: float
+    inherent_parallelism: float  # serial_time / comm-free CP
+    height: int  # number of precedence levels
+    width: int  # largest number of tasks on one level
+    total_comm: float
+    comm_to_comp: float
+    out_degree_distribution: dict[int, int] = field(hash=False, default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_tasks} tasks / {self.n_edges} edges, "
+            f"height {self.height}, width {self.width}, "
+            f"parallelism {self.inherent_parallelism:.2f}, "
+            f"comm/comp {self.comm_to_comp:.2f}"
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Quality summary of a schedule under the paper's model."""
+
+    makespan: float
+    n_processors: int
+    speedup: float
+    efficiency: float
+    mean_busy_fraction: float  # mean over used processors
+    min_busy_fraction: float
+    max_busy_fraction: float
+    load_imbalance: float  # max proc work / mean proc work
+    crossing_edges: int  # edges whose endpoints sit on different processors
+    crossing_comm: float  # summed weight of those edges
+    comm_fraction: float  # crossing comm / total comm (0 if no comm)
+
+    def summary(self) -> str:
+        return (
+            f"makespan {self.makespan:g} on {self.n_processors} procs, "
+            f"speedup {self.speedup:.2f}, eff {self.efficiency:.2f}, "
+            f"busy {self.mean_busy_fraction:.0%}, "
+            f"{self.crossing_edges} crossing edges "
+            f"({self.comm_fraction:.0%} of comm weight)"
+        )
+
+
+def graph_stats(graph: TaskGraph) -> GraphStats:
+    """Compute :class:`GraphStats`; raises on an empty graph."""
+    if graph.n_tasks == 0:
+        raise GraphError("no statistics for an empty graph")
+    # precedence levels: longest hop-count path from any source
+    level: dict = {}
+    for t in graph.topological_order():
+        preds = graph.predecessors(t)
+        level[t] = 1 + max((level[p] for p in preds), default=-1)
+    widths = Counter(level.values())
+    total_comm = sum(graph.edge_weight(u, v) for u, v in graph.edges())
+    serial = graph.serial_time()
+    cp_free = critical_path_length(graph, communication=False)
+    return GraphStats(
+        n_tasks=graph.n_tasks,
+        n_edges=graph.n_edges,
+        n_sources=len(graph.sources()),
+        n_sinks=len(graph.sinks()),
+        serial_time=serial,
+        cp_length=critical_path_length(graph, communication=True),
+        cp_length_comm_free=cp_free,
+        inherent_parallelism=serial / cp_free if cp_free else 1.0,
+        height=max(level.values()) + 1,
+        width=max(widths.values()),
+        total_comm=total_comm,
+        comm_to_comp=total_comm / serial if serial else 0.0,
+        out_degree_distribution=dict(
+            sorted(Counter(graph.out_degree(t) for t in graph.tasks()).items())
+        ),
+    )
+
+
+def schedule_stats(graph: TaskGraph, schedule: Schedule) -> ScheduleStats:
+    """Compute :class:`ScheduleStats` for a schedule of ``graph``.
+
+    The schedule is validated first, so the statistics always describe a
+    feasible execution.
+    """
+    schedule.validate(graph)
+    span = schedule.makespan
+    procs = schedule.processors
+    busy = {
+        p: sum(st.finish - st.start for st in schedule.tasks_on(p)) for p in procs
+    }
+    fractions = [busy[p] / span if span else 0.0 for p in procs]
+    mean_work = sum(busy.values()) / len(procs)
+    crossing = [
+        (u, v)
+        for u, v in graph.edges()
+        if schedule.processor_of(u) != schedule.processor_of(v)
+    ]
+    crossing_comm = sum(graph.edge_weight(u, v) for u, v in crossing)
+    total_comm = sum(graph.edge_weight(u, v) for u, v in graph.edges())
+    return ScheduleStats(
+        makespan=span,
+        n_processors=len(procs),
+        speedup=schedule.speedup(graph),
+        efficiency=schedule.efficiency(graph),
+        mean_busy_fraction=sum(fractions) / len(fractions),
+        min_busy_fraction=min(fractions),
+        max_busy_fraction=max(fractions),
+        load_imbalance=max(busy.values()) / mean_work if mean_work else 1.0,
+        crossing_edges=len(crossing),
+        crossing_comm=crossing_comm,
+        comm_fraction=crossing_comm / total_comm if total_comm else 0.0,
+    )

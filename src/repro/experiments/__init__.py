@@ -1,0 +1,41 @@
+"""The numerical-comparison testbed: runners, measures, tables, figures."""
+
+from .figures import ALL_FIGURES, FigureData
+from .measures import AggregateRow, GraphResult, HeuristicResult, aggregate
+from .persistence import (
+    load_results,
+    load_suite,
+    results_to_csv,
+    save_results,
+    save_suite,
+)
+from .report import full_report, render_report
+from .significance import PairedComparison, compare_heuristics, comparison_matrix
+from .reporting import ResultTable, ascii_chart
+from .runner import PAPER_HEURISTIC_ORDER, evaluate_graph, run_suite
+from .tables import ALL_TABLES
+
+__all__ = [
+    "run_suite",
+    "evaluate_graph",
+    "PAPER_HEURISTIC_ORDER",
+    "GraphResult",
+    "HeuristicResult",
+    "AggregateRow",
+    "aggregate",
+    "ResultTable",
+    "ascii_chart",
+    "FigureData",
+    "ALL_TABLES",
+    "ALL_FIGURES",
+    "save_results",
+    "load_results",
+    "save_suite",
+    "load_suite",
+    "results_to_csv",
+    "render_report",
+    "full_report",
+    "PairedComparison",
+    "compare_heuristics",
+    "comparison_matrix",
+]

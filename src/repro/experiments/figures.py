@@ -1,0 +1,136 @@
+"""Regeneration of the paper's Figures 1–6.
+
+Every figure in the paper plots one of the tables:
+
+* Figure 1 — Table 3 (average relative parallel time vs granularity)
+* Figure 2 — Table 4 (average speedup vs granularity)
+* Figure 3 — Table 5 (average efficiency vs granularity)
+* Figure 4 — Table 7 (average relative parallel time vs node weight range)
+* Figure 5 — Table 8 (average speedup vs node weight range)
+* Figure 6 — Table 9 (average efficiency vs node weight range)
+
+Each ``figureN`` returns a :class:`FigureData` with the plotted per-heuristic
+series; :meth:`FigureData.to_text` renders an ASCII chart so curve shapes
+(who is on top, where lines converge) can be compared with the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .measures import GraphResult
+from .reporting import ResultTable, ascii_chart
+from .tables import table3, table4, table5, table7, table8, table9
+
+__all__ = ["FigureData", "figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "ALL_FIGURES"]
+
+
+@dataclass
+class FigureData:
+    """One figure's plotted series: ``series[heuristic][i]`` at ``x_labels[i]``."""
+
+    title: str
+    x_axis: str
+    y_axis: str
+    x_labels: list[str]
+    series: dict[str, list[float]]
+
+    def to_text(self, *, height: int = 12) -> str:
+        chart = ascii_chart(
+            f"{self.title}   (y: {self.y_axis})",
+            self.x_labels,
+            self.series,
+            height=height,
+        )
+        return chart
+
+    def to_csv(self) -> str:
+        names = list(self.series)
+        lines = [",".join([self.x_axis, *names])]
+        for i, x in enumerate(self.x_labels):
+            lines.append(",".join([x, *(repr(self.series[n][i]) for n in names)]))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _from_table(table: ResultTable, *, title: str, x_axis: str, y_axis: str) -> FigureData:
+    return FigureData(
+        title=title,
+        x_axis=x_axis,
+        y_axis=y_axis,
+        x_labels=[label for label, _ in table.rows],
+        series={name: table.column(name) for name in table.col_labels},
+    )
+
+
+def figure1(results: Sequence[GraphResult]) -> FigureData:
+    """Average relative parallel time vs granularity (plots Table 3)."""
+    return _from_table(
+        table3(results),
+        title="Figure 1: average relative parallel time vs granularity",
+        x_axis="granularity",
+        y_axis="avg normalized relative parallel time",
+    )
+
+
+def figure2(results: Sequence[GraphResult]) -> FigureData:
+    """Average speedup vs granularity (plots Table 4)."""
+    return _from_table(
+        table4(results),
+        title="Figure 2: speedup increases with granularity",
+        x_axis="granularity",
+        y_axis="avg speedup",
+    )
+
+
+def figure3(results: Sequence[GraphResult]) -> FigureData:
+    """Average efficiency vs granularity (plots Table 5)."""
+    return _from_table(
+        table5(results),
+        title="Figure 3: average efficiency vs granularity",
+        x_axis="granularity",
+        y_axis="avg efficiency",
+    )
+
+
+def figure4(results: Sequence[GraphResult]) -> FigureData:
+    """Average relative parallel time vs node weight range (plots Table 7)."""
+    return _from_table(
+        table7(results),
+        title="Figure 4: average relative parallel time vs node weight range",
+        x_axis="node weight range",
+        y_axis="avg normalized relative parallel time",
+    )
+
+
+def figure5(results: Sequence[GraphResult]) -> FigureData:
+    """Average speedup vs node weight range (plots Table 8)."""
+    return _from_table(
+        table8(results),
+        title="Figure 5: average speedup vs node weight range",
+        x_axis="node weight range",
+        y_axis="avg speedup",
+    )
+
+
+def figure6(results: Sequence[GraphResult]) -> FigureData:
+    """Average efficiency vs node weight range (plots Table 9)."""
+    return _from_table(
+        table9(results),
+        title="Figure 6: average efficiency vs node weight range",
+        x_axis="node weight range",
+        y_axis="avg efficiency",
+    )
+
+
+ALL_FIGURES = {
+    1: figure1,
+    2: figure2,
+    3: figure3,
+    4: figure4,
+    5: figure5,
+    6: figure6,
+}

@@ -1,0 +1,116 @@
+"""Per-graph and aggregate performance measures (paper section 4).
+
+For every graph and heuristic the testbed records the *parallel time*
+(schedule makespan) and the processors used, from which the paper's four
+reported measures derive:
+
+* ``speedup = serial time / parallel time``;
+* ``efficiency = speedup / processors used``;
+* ``normalized relative parallel time (NRPT) =
+  parallel_time / best parallel time among the compared heuristics - 1``;
+* the count of schedules with ``speedup < 1`` ("retardations").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["HeuristicResult", "GraphResult", "AggregateRow", "aggregate"]
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """One heuristic's outcome on one graph."""
+
+    parallel_time: float
+    n_processors: int
+
+    def speedup(self, serial_time: float) -> float:
+        return serial_time / self.parallel_time
+
+    def efficiency(self, serial_time: float) -> float:
+        return self.speedup(serial_time) / self.n_processors
+
+
+@dataclass(frozen=True)
+class GraphResult:
+    """All heuristics' outcomes on one classified graph."""
+
+    graph_id: str
+    band: int
+    anchor: int
+    weight_range: tuple[int, int]
+    granularity: float
+    serial_time: float
+    results: dict[str, HeuristicResult] = field(default_factory=dict)
+
+    @property
+    def best_parallel_time(self) -> float:
+        """Shortest schedule among the compared heuristics (paper's basis
+        for relative parallel time)."""
+        return min(r.parallel_time for r in self.results.values())
+
+    def nrpt(self, name: str) -> float:
+        """Normalized relative parallel time of heuristic ``name``."""
+        return self.results[name].parallel_time / self.best_parallel_time - 1.0
+
+    def speedup(self, name: str) -> float:
+        return self.results[name].speedup(self.serial_time)
+
+    def efficiency(self, name: str) -> float:
+        return self.results[name].efficiency(self.serial_time)
+
+    def retarded(self, name: str) -> bool:
+        """True when the heuristic produced a schedule slower than serial."""
+        return self.speedup(name) < 1.0 - 1e-12
+
+
+@dataclass
+class AggregateRow:
+    """Aggregated measures for one heuristic over one class of graphs."""
+
+    n_graphs: int = 0
+    n_retarded: int = 0
+    mean_speedup: float = 0.0
+    mean_efficiency: float = 0.0
+    mean_nrpt: float = 0.0
+    mean_processors: float = 0.0
+
+
+def aggregate(
+    results: Iterable[GraphResult],
+    key_fn: Callable[[GraphResult], Any],
+    names: Sequence[str],
+) -> dict[Any, dict[str, AggregateRow]]:
+    """Group graph results by ``key_fn`` and average per heuristic.
+
+    Returns ``{class key: {heuristic name: AggregateRow}}``.  Empty classes
+    simply do not appear.
+    """
+    sums: dict[Any, dict[str, list[float]]] = {}
+    for gr in results:
+        key = key_fn(gr)
+        per = sums.setdefault(key, {n: [0, 0, 0.0, 0.0, 0.0, 0.0] for n in names})
+        for name in names:
+            acc = per[name]
+            acc[0] += 1
+            acc[1] += 1 if gr.retarded(name) else 0
+            acc[2] += gr.speedup(name)
+            acc[3] += gr.efficiency(name)
+            acc[4] += gr.nrpt(name)
+            acc[5] += gr.results[name].n_processors
+    out: dict[Any, dict[str, AggregateRow]] = {}
+    for key, per in sums.items():
+        out[key] = {}
+        for name, (n, ret, sp, eff, nrpt, procs) in per.items():
+            out[key][name] = AggregateRow(
+                n_graphs=n,
+                n_retarded=ret,
+                mean_speedup=sp / n,
+                mean_efficiency=eff / n,
+                mean_nrpt=nrpt / n,
+                mean_processors=procs / n,
+            )
+    return out

@@ -1,0 +1,160 @@
+"""Persistence for suites and results.
+
+Full-suite runs take minutes; analysis iterations should not.  This module
+round-trips
+
+* generated suites (classified graphs) and
+* :class:`~repro.experiments.measures.GraphResult` records
+
+through JSON so one expensive run feeds any number of table/figure
+rebuilds.  The CLI's ``experiment --save/--load`` uses these.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from ..core.taskgraph import TaskGraph
+from ..generation.suites import SuiteCell, SuiteGraph
+from .measures import GraphResult, HeuristicResult
+
+__all__ = [
+    "save_results",
+    "load_results",
+    "save_suite",
+    "load_suite",
+    "results_to_csv",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_results(results: Sequence[GraphResult], path: str | Path) -> None:
+    """Write results as versioned JSON."""
+    payload = {
+        "format": "repro-results",
+        "version": _FORMAT_VERSION,
+        "results": [
+            {
+                "graph_id": r.graph_id,
+                "band": r.band,
+                "anchor": r.anchor,
+                "weight_range": list(r.weight_range),
+                "granularity": r.granularity,
+                "serial_time": r.serial_time,
+                "results": {
+                    name: {
+                        "parallel_time": h.parallel_time,
+                        "n_processors": h.n_processors,
+                    }
+                    for name, h in r.results.items()
+                },
+            }
+            for r in results
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_results(path: str | Path) -> list[GraphResult]:
+    """Read results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-results":
+        raise ValueError(f"{path}: not a repro results file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    out = []
+    for r in payload["results"]:
+        out.append(
+            GraphResult(
+                graph_id=r["graph_id"],
+                band=r["band"],
+                anchor=r["anchor"],
+                weight_range=tuple(r["weight_range"]),
+                granularity=r["granularity"],
+                serial_time=r["serial_time"],
+                results={
+                    name: HeuristicResult(
+                        parallel_time=h["parallel_time"],
+                        n_processors=h["n_processors"],
+                    )
+                    for name, h in r["results"].items()
+                },
+            )
+        )
+    return out
+
+
+def results_to_csv(results: Sequence[GraphResult]) -> str:
+    """Flat per-graph-per-heuristic CSV for external analysis."""
+    lines = [
+        "graph_id,band,anchor,wmin,wmax,granularity,serial_time,"
+        "heuristic,parallel_time,n_processors,speedup,efficiency,nrpt"
+    ]
+    for r in results:
+        for name in sorted(r.results):
+            h = r.results[name]
+            lines.append(
+                f"{r.graph_id},{r.band},{r.anchor},{r.weight_range[0]},"
+                f"{r.weight_range[1]},{r.granularity!r},{r.serial_time!r},"
+                f"{name},{h.parallel_time!r},{h.n_processors},"
+                f"{r.speedup(name)!r},{r.efficiency(name)!r},{r.nrpt(name)!r}"
+            )
+    return "\n".join(lines)
+
+
+def save_suite(suite: Iterable[SuiteGraph], path: str | Path) -> int:
+    """Write a generated suite (graphs + classification) as JSON.
+
+    Returns the number of graphs written.
+    """
+    records = []
+    for sg in suite:
+        records.append(
+            {
+                "cell": {
+                    "band": sg.cell.band,
+                    "anchor": sg.cell.anchor,
+                    "weight_range": list(sg.cell.weight_range),
+                },
+                "index": sg.index,
+                "graph": sg.graph.to_dict(),
+            }
+        )
+    payload = {
+        "format": "repro-suite",
+        "version": _FORMAT_VERSION,
+        "graphs": records,
+    }
+    Path(path).write_text(json.dumps(payload))
+    return len(records)
+
+
+def load_suite(path: str | Path) -> list[SuiteGraph]:
+    """Read a suite written by :func:`save_suite`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-suite":
+        raise ValueError(f"{path}: not a repro suite file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    out = []
+    for rec in payload["graphs"]:
+        cell = SuiteCell(
+            band=rec["cell"]["band"],
+            anchor=rec["cell"]["anchor"],
+            weight_range=tuple(rec["cell"]["weight_range"]),
+        )
+        out.append(
+            SuiteGraph(
+                cell=cell,
+                index=rec["index"],
+                graph=TaskGraph.from_dict(rec["graph"]),
+            )
+        )
+    return out

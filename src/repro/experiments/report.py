@@ -1,0 +1,72 @@
+"""One-shot report generation: the whole paper reproduction as markdown.
+
+:func:`full_report` runs the classified suite, regenerates every table and
+figure, and renders a single self-contained markdown document — the
+programmatic counterpart of EXPERIMENTS.md.  Exposed on the CLI as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .figures import ALL_FIGURES
+from .measures import GraphResult
+from .runner import run_suite
+from .tables import ALL_TABLES
+from ..generation.suites import generate_suite
+
+__all__ = ["render_report", "full_report"]
+
+
+def render_report(results: Sequence[GraphResult], *, title: str | None = None) -> str:
+    """Markdown report (all tables + figure series) from existing results."""
+    if not results:
+        raise ValueError("cannot render a report from zero results")
+    lines = [
+        f"# {title or 'Scheduling heuristic comparison report'}",
+        "",
+        f"Graphs evaluated: **{len(results)}** | heuristics: "
+        + ", ".join(sorted(results[0].results)),
+        "",
+    ]
+    for tid in sorted(ALL_TABLES):
+        lines.append(f"## Table {tid}")
+        lines.append("")
+        lines.append("```")
+        lines.append(ALL_TABLES[tid](results).to_text())
+        lines.append("```")
+        lines.append("")
+    for fid in sorted(ALL_FIGURES):
+        fig = ALL_FIGURES[fid](results)
+        lines.append(f"## Figure {fid}")
+        lines.append("")
+        lines.append("```")
+        lines.append(fig.to_text())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def full_report(
+    *,
+    graphs_per_cell: int = 4,
+    seed: int = 19940815,
+    n_tasks_range: tuple[int, int] = (40, 100),
+    title: str | None = None,
+) -> str:
+    """Generate the suite, run all five heuristics, render the report."""
+    suite = generate_suite(
+        graphs_per_cell=graphs_per_cell,
+        seed=seed,
+        n_tasks_range=n_tasks_range,
+    )
+    results = run_suite(list(suite))
+    return render_report(
+        results,
+        title=title
+        or (
+            f"Reproduction report ({graphs_per_cell * 60} graphs, "
+            f"seed {seed}, {n_tasks_range[0]}-{n_tasks_range[1]} tasks)"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Text rendering for result tables and figure series."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["ResultTable", "ascii_chart"]
+
+
+@dataclass
+class ResultTable:
+    """A labelled 2-D table of numbers, renderable as text or CSV.
+
+    Mirrors the layout of the paper's tables: one row per graph class, one
+    column per heuristic.
+    """
+
+    title: str
+    row_header: str
+    col_labels: Sequence[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+    fmt: str = "{:.2f}"
+
+    def add_row(self, label: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.col_labels):
+            raise ValueError(
+                f"row {label!r} has {len(values)} values, "
+                f"expected {len(self.col_labels)}"
+            )
+        self.rows.append((label, list(values)))
+
+    def value(self, row_label: str, col_label: str) -> float:
+        col = list(self.col_labels).index(col_label)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[col]
+        raise KeyError(row_label)
+
+    def column(self, col_label: str) -> list[float]:
+        col = list(self.col_labels).index(col_label)
+        return [values[col] for _, values in self.rows]
+
+    def to_text(self) -> str:
+        headers = [self.row_header, *self.col_labels]
+        body = [
+            [label, *(self.fmt.format(v) for v in values)]
+            for label, values in self.rows
+        ]
+        widths = [
+            max(len(str(cell)) for cell in col)
+            for col in zip(headers, *body)
+        ]
+        def render(cells: Sequence[str]) -> str:
+            padded = [str(c).rjust(w) for c, w in zip(cells, widths)]
+            padded[0] = str(cells[0]).ljust(widths[0])
+            return "  ".join(padded)
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [self.title, rule, render(headers), rule]
+        lines += [render(row) for row in body]
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        lines = [",".join([self.row_header, *map(str, self.col_labels)])]
+        for label, values in self.rows:
+            lines.append(",".join([label, *(repr(float(v)) for v in values)]))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def ascii_chart(
+    title: str,
+    x_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    log_floor: float | None = None,
+) -> str:
+    """A rough multi-series ASCII line chart (one column group per x label).
+
+    Good enough to eyeball the *shape* of the paper's figures — which curve
+    is on top, where they converge — directly in a terminal or test log.
+    """
+    if not series:
+        return title
+    marks = "CDMHUEabcdef"  # first letter per series, disambiguated below
+    names = list(series)
+    symbols = {}
+    for i, name in enumerate(names):
+        sym = name[0].upper()
+        if sym in symbols.values():
+            sym = marks[i % len(marks)].lower()
+        symbols[name] = sym
+    all_vals = [v for vals in series.values() for v in vals]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi <= lo:
+        hi = lo + 1.0
+    col_w = max(max(len(x) for x in x_labels) + 2, 6)
+    grid = [[" "] * (col_w * len(x_labels)) for _ in range(height)]
+    for name in names:
+        for xi, v in enumerate(series[name]):
+            frac = (v - lo) / (hi - lo)
+            row = height - 1 - int(round(frac * (height - 1)))
+            col = xi * col_w + col_w // 2
+            grid[row][col] = symbols[name] if grid[row][col] == " " else "*"
+    lines = [title]
+    lines.append(f"max={hi:g}")
+    lines += ["|" + "".join(r) for r in grid]
+    lines.append(f"min={lo:g}")
+    lines.append(" " + "".join(x.center(col_w) for x in x_labels))
+    legend = "  ".join(f"{symbols[n]}={n}" for n in names) + "  *=overlap"
+    lines.append(legend)
+    return "\n".join(lines)

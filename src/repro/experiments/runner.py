@@ -1,0 +1,78 @@
+"""Run heuristics over graph suites and collect measures.
+
+This is the testbed's execution core: it takes classified graphs (from
+:mod:`repro.generation.suites` or anywhere else), runs every scheduler on
+every graph, optionally validates each produced schedule against the
+execution model, and emits :class:`~repro.experiments.measures.GraphResult`
+records for aggregation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from ..core.metrics import granularity
+from ..core.taskgraph import TaskGraph
+from ..generation.suites import SuiteGraph
+from ..schedulers.base import Scheduler, paper_schedulers
+from .measures import GraphResult, HeuristicResult
+
+__all__ = ["evaluate_graph", "run_suite", "PAPER_HEURISTIC_ORDER"]
+
+#: Column order used by every table in the paper.
+PAPER_HEURISTIC_ORDER: tuple[str, ...] = ("CLANS", "DSC", "MCP", "MH", "HU")
+
+
+def evaluate_graph(
+    graph: TaskGraph,
+    schedulers: Sequence[Scheduler],
+    *,
+    validate: bool = False,
+) -> dict[str, HeuristicResult]:
+    """Schedule one graph with every heuristic.
+
+    With ``validate=True`` each schedule is checked against the shared
+    execution model — slower, but the property the whole comparison rests
+    on; the test suite always validates.
+    """
+    out: dict[str, HeuristicResult] = {}
+    for sched in schedulers:
+        schedule = sched.schedule(graph)
+        if validate:
+            schedule.validate(graph)
+        out[sched.name] = HeuristicResult(
+            parallel_time=schedule.makespan,
+            n_processors=schedule.n_processors,
+        )
+    return out
+
+
+def run_suite(
+    suite: Iterable[SuiteGraph],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    validate: bool = False,
+    progress: Callable[[int, GraphResult], None] | None = None,
+) -> list[GraphResult]:
+    """Evaluate every suite graph with every scheduler.
+
+    ``schedulers`` defaults to the paper's five heuristics.  ``progress``
+    (if given) is called after each graph with ``(count so far, result)``.
+    """
+    if schedulers is None:
+        schedulers = paper_schedulers()
+    results: list[GraphResult] = []
+    for sg in suite:
+        gr = GraphResult(
+            graph_id=sg.graph_id,
+            band=sg.cell.band,
+            anchor=sg.cell.anchor,
+            weight_range=sg.cell.weight_range,
+            granularity=granularity(sg.graph),
+            serial_time=sg.graph.serial_time(),
+            results=evaluate_graph(sg.graph, schedulers, validate=validate),
+        )
+        results.append(gr)
+        if progress is not None:
+            progress(len(results), gr)
+    return results

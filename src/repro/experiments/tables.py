@@ -1,0 +1,271 @@
+"""Regeneration of the paper's Tables 1–11.
+
+Each ``tableN`` function takes the list of
+:class:`~repro.experiments.measures.GraphResult` records produced by
+:func:`~repro.experiments.runner.run_suite` and returns a
+:class:`~repro.experiments.reporting.ResultTable` with the same rows and
+columns as the paper:
+
+* Tables 2–5: granularity-band rows (the section 4.1 analysis),
+* Tables 6–9: node-weight-range rows (section 4.2),
+* Tables 10–11: anchor out-degree rows (section 4.3),
+
+covering the measures retardation count / NRPT / speedup / efficiency.
+Table 1 summarizes the suite composition itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core.metrics import GRANULARITY_BANDS
+from ..generation.suites import (
+    PAPER_ANCHORS,
+    band_label,
+    weight_range_label,
+)
+from .measures import AggregateRow, GraphResult, aggregate
+from .runner import PAPER_HEURISTIC_ORDER
+from .reporting import ResultTable
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table_processors",
+    "ALL_TABLES",
+]
+
+
+def _names(results: Sequence[GraphResult]) -> list[str]:
+    present = set(results[0].results) if results else set()
+    ordered = [n for n in PAPER_HEURISTIC_ORDER if n in present]
+    ordered += sorted(present - set(ordered))
+    return ordered
+
+
+def _measure_table(
+    results: Sequence[GraphResult],
+    *,
+    title: str,
+    group: str,
+    measure: str,
+    fmt: str = "{:.2f}",
+) -> ResultTable:
+    """Shared builder: rows = classes of ``group``, cells = ``measure``."""
+    if not results:
+        raise ValueError("no results to tabulate")
+    names = _names(results)
+    if group == "band":
+        keys = list(range(len(GRANULARITY_BANDS)))
+        key_fn = lambda gr: gr.band
+        labels = [band_label(b) for b in keys]
+        header = "Granularity"
+    elif group == "weight_range":
+        keys = sorted({gr.weight_range for gr in results})
+        key_fn = lambda gr: gr.weight_range
+        labels = [weight_range_label(w) for w in keys]
+        header = "Node Weight Range"
+    elif group == "anchor":
+        keys = sorted({gr.anchor for gr in results})
+        key_fn = lambda gr: gr.anchor
+        labels = [f"A = {a}" for a in keys]
+        header = "Anchor"
+    else:
+        raise ValueError(f"unknown grouping {group!r}")
+
+    agg = aggregate(results, key_fn, names)
+    table = ResultTable(title, header, names, fmt=fmt)
+    for key, label in zip(keys, labels):
+        if key not in agg:
+            continue
+        rows = agg[key]
+        table.add_row(label, [_pick(rows[n], measure) for n in names])
+    return table
+
+
+def _pick(row: AggregateRow, measure: str) -> float:
+    if measure == "retarded":
+        return float(row.n_retarded)
+    if measure == "nrpt":
+        return row.mean_nrpt
+    if measure == "speedup":
+        return row.mean_speedup
+    if measure == "efficiency":
+        return row.mean_efficiency
+    if measure == "processors":
+        return row.mean_processors
+    raise ValueError(f"unknown measure {measure!r}")
+
+
+# ----------------------------------------------------------------------
+# Table 1 — suite composition
+# ----------------------------------------------------------------------
+def table1(results: Sequence[GraphResult]) -> ResultTable:
+    """Graph counts per (granularity band, anchor) cell, as in Table 1."""
+    anchors = sorted({gr.anchor for gr in results}) or list(PAPER_ANCHORS)
+    table = ResultTable(
+        "Table 1: number of graphs per class (summed over weight ranges)",
+        "Granularity",
+        [f"ANCHOR {a}" for a in anchors],
+        fmt="{:.0f}",
+    )
+    agg = aggregate(results, lambda gr: (gr.band, gr.anchor), _names(results))
+    name0 = _names(results)[0]
+    for band in range(len(GRANULARITY_BANDS)):
+        row = []
+        for a in anchors:
+            cell = agg.get((band, a))
+            row.append(float(cell[name0].n_graphs) if cell else 0.0)
+        table.add_row(band_label(band), row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Granularity analysis (section 4.1)
+# ----------------------------------------------------------------------
+def table2(results: Sequence[GraphResult]) -> ResultTable:
+    """Schedules with speedup < 1 per granularity band (Table 2)."""
+    return _measure_table(
+        results,
+        title="Table 2: number of schedules with speedup < 1, by granularity",
+        group="band",
+        measure="retarded",
+        fmt="{:.0f}",
+    )
+
+
+def table3(results: Sequence[GraphResult]) -> ResultTable:
+    """Average normalized relative parallel time per band (Table 3 / Fig 1)."""
+    return _measure_table(
+        results,
+        title="Table 3: average normalized relative parallel time, by granularity",
+        group="band",
+        measure="nrpt",
+    )
+
+
+def table4(results: Sequence[GraphResult]) -> ResultTable:
+    """Average speedup per granularity band (Table 4 / Fig 2)."""
+    return _measure_table(
+        results,
+        title="Table 4: average speedup, by granularity",
+        group="band",
+        measure="speedup",
+    )
+
+
+def table5(results: Sequence[GraphResult]) -> ResultTable:
+    """Average efficiency per granularity band (Table 5 / Fig 3)."""
+    return _measure_table(
+        results,
+        title="Table 5: average efficiency, by granularity",
+        group="band",
+        measure="efficiency",
+    )
+
+
+# ----------------------------------------------------------------------
+# Node-weight-range analysis (section 4.2)
+# ----------------------------------------------------------------------
+def table6(results: Sequence[GraphResult]) -> ResultTable:
+    """Schedules with speedup < 1 per node weight range (Table 6)."""
+    return _measure_table(
+        results,
+        title="Table 6: number of schedules with speedup < 1, by node weight range",
+        group="weight_range",
+        measure="retarded",
+        fmt="{:.0f}",
+    )
+
+
+def table7(results: Sequence[GraphResult]) -> ResultTable:
+    """Average NRPT per node weight range (Table 7 / Fig 4)."""
+    return _measure_table(
+        results,
+        title="Table 7: average relative parallel time, by node weight range",
+        group="weight_range",
+        measure="nrpt",
+    )
+
+
+def table8(results: Sequence[GraphResult]) -> ResultTable:
+    """Average speedup per node weight range (Table 8 / Fig 5)."""
+    return _measure_table(
+        results,
+        title="Table 8: average speedup, by node weight range",
+        group="weight_range",
+        measure="speedup",
+    )
+
+
+def table9(results: Sequence[GraphResult]) -> ResultTable:
+    """Average efficiency per node weight range (Table 9 / Fig 6)."""
+    return _measure_table(
+        results,
+        title="Table 9: average efficiency, by node weight range",
+        group="weight_range",
+        measure="efficiency",
+    )
+
+
+# ----------------------------------------------------------------------
+# Anchor out-degree analysis (section 4.3)
+# ----------------------------------------------------------------------
+def table10(results: Sequence[GraphResult]) -> ResultTable:
+    """Schedules with speedup < 1 per anchor out-degree (Table 10)."""
+    return _measure_table(
+        results,
+        title="Table 10: number of schedules with speedup < 1, by anchor out-degree",
+        group="anchor",
+        measure="retarded",
+        fmt="{:.0f}",
+    )
+
+
+def table11(results: Sequence[GraphResult]) -> ResultTable:
+    """Average NRPT per anchor out-degree (Table 11)."""
+    return _measure_table(
+        results,
+        title="Table 11: normalized average relative parallel time, by anchor out-degree",
+        group="anchor",
+        measure="nrpt",
+    )
+
+
+def table_processors(results: Sequence[GraphResult]) -> ResultTable:
+    """Extension table: mean processors used per granularity band.
+
+    Not in the paper, but it is the denominator of Table 5's efficiency —
+    the direct evidence for "CLANS consistently uses fewer processors".
+    """
+    return _measure_table(
+        results,
+        title="Extension table: mean processors used, by granularity",
+        group="band",
+        measure="processors",
+        fmt="{:.1f}",
+    )
+
+
+ALL_TABLES = {
+    1: table1,
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+    8: table8,
+    9: table9,
+    10: table10,
+    11: table11,
+}

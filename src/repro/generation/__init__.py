@@ -1,0 +1,46 @@
+"""Random and structured task-graph generation."""
+
+from .parse_tree import SPKind, SPNode, random_parse_tree
+from .random_dag import (
+    adjust_anchor,
+    assign_weights,
+    generate_pdg,
+    sample_target_granularity,
+    sp_dag_from_tree,
+)
+from .suites import (
+    PAPER_ANCHORS,
+    PAPER_GRAPHS_PER_CELL,
+    PAPER_WEIGHT_RANGES,
+    SuiteCell,
+    SuiteGraph,
+    band_label,
+    generate_suite,
+    suite_cells,
+    weight_range_label,
+)
+from . import workloads
+from .layered import generate_layered_pdg, layered_dag
+
+__all__ = [
+    "SPKind",
+    "SPNode",
+    "random_parse_tree",
+    "sp_dag_from_tree",
+    "adjust_anchor",
+    "assign_weights",
+    "sample_target_granularity",
+    "generate_pdg",
+    "SuiteCell",
+    "SuiteGraph",
+    "suite_cells",
+    "generate_suite",
+    "band_label",
+    "weight_range_label",
+    "PAPER_ANCHORS",
+    "PAPER_WEIGHT_RANGES",
+    "PAPER_GRAPHS_PER_CELL",
+    "workloads",
+    "layered_dag",
+    "generate_layered_pdg",
+]

@@ -1,0 +1,101 @@
+"""Layered random DAGs — the alternative generator for the bias study.
+
+The paper closes with an open question (section 5.1): "It is unclear
+whether the graph generation method provided a bias toward any of the
+heuristics.  Further study is required."  This module provides the study's
+instrument: a structurally different random-DAG family (layer-by-layer
+construction in the style of Tobita & Kasahara's STG suite) that shares the
+weight-assignment pass — so Table 2/3-style comparisons can be rerun on
+graphs that did *not* come from a series-parallel parse tree.
+
+Layered DAGs are generally *not* series-parallel: their clan parse trees
+are dominated by primitive clans, stressing CLANS's pseudo-clan handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+from ..core.metrics import GRANULARITY_BANDS, granularity
+from ..core.taskgraph import TaskGraph
+from .random_dag import assign_weights, sample_target_granularity
+
+__all__ = ["layered_dag", "generate_layered_pdg"]
+
+
+def layered_dag(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    mean_width: float = 4.0,
+    p_skip: float = 0.15,
+) -> TaskGraph:
+    """A connected random layered DAG with ``n_tasks`` unit-weight tasks.
+
+    Tasks are dealt into layers of Poisson(``mean_width``) size (min 1).
+    Every non-first-layer task draws at least one predecessor from the
+    previous layer; additional edges from the previous layer appear with
+    probability ~1/width, and long "skip" edges from any earlier layer with
+    probability ``p_skip``.
+    """
+    if n_tasks < 1:
+        raise GenerationError(f"need at least one task, got {n_tasks}")
+    if mean_width < 1:
+        raise GenerationError(f"mean_width must be >= 1, got {mean_width}")
+    layers: list[list[int]] = []
+    nid = 0
+    graph = TaskGraph()
+    while nid < n_tasks:
+        width = max(1, int(rng.poisson(mean_width)))
+        width = min(width, n_tasks - nid)
+        layer = list(range(nid, nid + width))
+        for t in layer:
+            graph.add_task(t, 1.0)
+        layers.append(layer)
+        nid += width
+
+    for li in range(1, len(layers)):
+        prev = layers[li - 1]
+        for t in layers[li]:
+            # guaranteed predecessor keeps the graph connected layer-to-layer
+            anchor = prev[int(rng.integers(len(prev)))]
+            graph.add_edge(anchor, t, 0.0)
+            for p in prev:
+                if p != anchor and rng.random() < 1.0 / (1 + len(prev)):
+                    graph.add_edge(p, t, 0.0)
+            if li >= 2 and rng.random() < p_skip:
+                earlier_layer = layers[int(rng.integers(li - 1))]
+                skip = earlier_layer[int(rng.integers(len(earlier_layer)))]
+                if not graph.has_edge(skip, t):
+                    graph.add_edge(skip, t, 0.0)
+    return graph
+
+
+def generate_layered_pdg(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    band: int,
+    weight_range: tuple[int, int],
+    mean_width: float = 4.0,
+    max_attempts: int = 25,
+) -> TaskGraph:
+    """A layered random PDG landing in the given granularity band.
+
+    Shares :func:`~repro.generation.random_dag.assign_weights` (and its
+    exact granularity targeting) with the parse-tree generator, so the two
+    families differ only in *topology* — exactly what the bias study needs.
+    """
+    for _ in range(max_attempts):
+        graph = layered_dag(rng, n_tasks=n_tasks, mean_width=mean_width)
+        if graph.n_edges == 0:
+            continue
+        target = sample_target_granularity(band, rng)
+        assign_weights(graph, rng, weight_range=weight_range, target_granularity=target)
+        lo, hi = GRANULARITY_BANDS[band]
+        if lo <= granularity(graph) < hi:
+            return graph
+    raise GenerationError(
+        f"could not generate a layered graph in band {band} with {n_tasks} tasks"
+    )

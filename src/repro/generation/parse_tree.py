@@ -1,0 +1,100 @@
+"""Random series-parallel parse trees.
+
+The paper's graph generation system "generates graphs using a random parse
+tree generator" (section 5.1).  A parse tree here is a series-parallel
+recipe: LINEAR internal nodes compose their children sequentially,
+INDEPENDENT nodes compose them concurrently, leaves are tasks.  Kinds
+alternate by level (a linear child of a linear node would merge into its
+parent), matching the canonical clan parse trees of
+:mod:`repro.clans.parse_tree`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+
+__all__ = ["SPKind", "SPNode", "random_parse_tree"]
+
+
+class SPKind(Enum):
+    """Node kinds of a series-parallel parse tree."""
+
+    LEAF = "leaf"
+    LINEAR = "linear"
+    INDEPENDENT = "independent"
+
+
+@dataclass
+class SPNode:
+    """One node of a series-parallel parse tree."""
+
+    kind: SPKind
+    children: list["SPNode"] = field(default_factory=list)
+
+    @property
+    def n_leaves(self) -> int:
+        if self.kind is SPKind.LEAF:
+            return 1
+        return sum(c.n_leaves for c in self.children)
+
+    def walk(self) -> Iterator["SPNode"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def depth(self) -> int:
+        if self.kind is SPKind.LEAF:
+            return 0
+        return 1 + max(c.depth() for c in self.children)
+
+
+def random_parse_tree(
+    n_leaves: int,
+    rng: np.random.Generator,
+    *,
+    max_children: int = 4,
+    root_kind: SPKind | None = None,
+) -> SPNode:
+    """A uniform-ish random series-parallel tree with exactly ``n_leaves``.
+
+    Each internal node splits its leaf budget into 2..``max_children``
+    random positive parts; child kinds alternate with the parent's.  The
+    root kind defaults to LINEAR with probability 0.6 (a mostly sequential
+    program with parallel sections — the common PDG shape), INDEPENDENT
+    otherwise.
+    """
+    if n_leaves < 1:
+        raise GenerationError(f"need at least one leaf, got {n_leaves}")
+    if max_children < 2:
+        raise GenerationError(f"max_children must be >= 2, got {max_children}")
+    if root_kind is None:
+        root_kind = SPKind.LINEAR if rng.random() < 0.6 else SPKind.INDEPENDENT
+    elif root_kind is SPKind.LEAF:
+        raise GenerationError("root kind cannot be LEAF")
+    return _build(n_leaves, root_kind, rng, max_children)
+
+
+def _build(n: int, kind: SPKind, rng: np.random.Generator, max_children: int) -> SPNode:
+    if n == 1:
+        return SPNode(SPKind.LEAF)
+    k = int(rng.integers(2, min(max_children, n) + 1))
+    parts = _random_composition(n, k, rng)
+    child_kind = SPKind.INDEPENDENT if kind is SPKind.LINEAR else SPKind.LINEAR
+    children = [_build(p, child_kind, rng, max_children) for p in parts]
+    return SPNode(kind, children)
+
+
+def _random_composition(n: int, k: int, rng: np.random.Generator) -> list[int]:
+    """Split ``n`` into ``k`` positive integer parts, uniformly at random."""
+    if k > n:
+        raise GenerationError(f"cannot split {n} leaves into {k} parts")
+    cuts = rng.choice(n - 1, size=k - 1, replace=False) + 1
+    cuts.sort()
+    bounds = [0, *cuts.tolist(), n]
+    return [bounds[i + 1] - bounds[i] for i in range(k)]

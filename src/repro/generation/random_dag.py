@@ -1,0 +1,241 @@
+"""Random PDG construction: parse tree -> DAG -> anchor -> weights.
+
+This mirrors the paper's pipeline (section 5.1): "The graph generation
+system generates graphs using a random parse tree generator.  The graphs
+are then modified by removing and inserting randomly connected edges to
+match the given anchor out-degree", after which weights are assigned to land
+in a target granularity band.
+
+The three stages are exposed separately (:func:`sp_dag_from_tree`,
+:func:`adjust_anchor`, :func:`assign_weights`) and composed by
+:func:`generate_pdg`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+from ..core.metrics import GRANULARITY_BANDS, anchor_out_degree, granularity
+from ..core.taskgraph import TaskGraph
+from .parse_tree import SPKind, SPNode, random_parse_tree
+
+__all__ = [
+    "sp_dag_from_tree",
+    "adjust_anchor",
+    "assign_weights",
+    "sample_target_granularity",
+    "generate_pdg",
+]
+
+
+def sp_dag_from_tree(tree: SPNode) -> TaskGraph:
+    """Expand a series-parallel parse tree into a DAG of unit-weight tasks.
+
+    LINEAR nodes join consecutive children with complete bipartite
+    sink-to-source edges; INDEPENDENT nodes take the disjoint union.  Tasks
+    are numbered 0..n-1 in construction order; weights and edge costs are
+    placeholders (1 and 0) until :func:`assign_weights` runs.
+    """
+    graph = TaskGraph()
+    counter = [0]
+
+    def build(node: SPNode) -> tuple[list[int], list[int]]:
+        """Returns (sources, sinks) of the fragment."""
+        if node.kind is SPKind.LEAF:
+            t = counter[0]
+            counter[0] += 1
+            graph.add_task(t, 1.0)
+            return [t], [t]
+        parts = [build(c) for c in node.children]
+        if node.kind is SPKind.INDEPENDENT:
+            return (
+                [s for srcs, _ in parts for s in srcs],
+                [s for _, sinks in parts for s in sinks],
+            )
+        # LINEAR: chain the fragments
+        for (_, sinks_a), (srcs_b, _) in zip(parts, parts[1:]):
+            for u in sinks_a:
+                for v in srcs_b:
+                    graph.add_edge(u, v, 0.0)
+        return parts[0][0], parts[-1][1]
+
+    build(tree)
+    return graph
+
+
+def adjust_anchor(
+    graph: TaskGraph,
+    anchor: int,
+    rng: np.random.Generator,
+    *,
+    max_steps: int | None = None,
+) -> None:
+    """Insert/remove edges in place until the anchor out-degree equals ``anchor``.
+
+    One node at a time is driven to out-degree exactly ``anchor`` — chosen
+    among nodes holding the current (wrong) mode — by adding forward edges
+    (with respect to a fixed topological order, preserving acyclicity) or
+    removing random outgoing edges.  Raises :class:`GenerationError` if the
+    target cannot be reached (callers resample the parse tree).
+    """
+    if anchor < 1:
+        raise GenerationError(f"anchor must be >= 1, got {anchor}")
+    topo = graph.topological_order()
+    pos = {t: i for i, t in enumerate(topo)}
+    if max_steps is None:
+        max_steps = 4 * graph.n_tasks + 16
+
+    for _ in range(max_steps):
+        mode = _mode_out_degree(graph)
+        if mode == anchor:
+            return
+        candidates = [
+            t
+            for t in topo
+            if graph.out_degree(t) == mode
+            and (mode > anchor or _n_addable(graph, t, pos, topo) >= anchor - mode)
+        ]
+        if not candidates and mode < anchor:
+            # No mode-degree node can grow; try any growable non-sink.
+            candidates = [
+                t
+                for t in topo
+                if 0 < graph.out_degree(t) < anchor
+                and _n_addable(graph, t, pos, topo) >= anchor - graph.out_degree(t)
+            ]
+        if not candidates:
+            raise GenerationError(
+                f"cannot reach anchor {anchor} (mode stuck at {mode})"
+            )
+        v = candidates[int(rng.integers(len(candidates)))]
+        if graph.out_degree(v) < anchor:
+            targets = _addable(graph, v, pos, topo)
+            picks = rng.choice(len(targets), size=anchor - graph.out_degree(v), replace=False)
+            for i in picks:
+                graph.add_edge(v, targets[int(i)], 0.0)
+        else:
+            out = graph.successors(v)
+            drop = rng.choice(len(out), size=graph.out_degree(v) - anchor, replace=False)
+            for i in drop:
+                graph.remove_edge(v, out[int(i)])
+    raise GenerationError(f"anchor adjustment did not converge to {anchor}")
+
+
+def _mode_out_degree(graph: TaskGraph) -> int:
+    return anchor_out_degree(graph, include_sinks=False)
+
+
+def _addable(graph: TaskGraph, v, pos, topo) -> list:
+    """Later-in-topo-order nodes ``v`` has no edge to (safe to connect)."""
+    succ = set(graph.successors(v))
+    return [u for u in topo if pos[u] > pos[v] and u not in succ]
+
+
+def _n_addable(graph: TaskGraph, v, pos, topo) -> int:
+    return len(_addable(graph, v, pos, topo))
+
+
+def assign_weights(
+    graph: TaskGraph,
+    rng: np.random.Generator,
+    *,
+    weight_range: tuple[int, int],
+    target_granularity: float,
+    jitter: float = 0.3,
+) -> None:
+    """Assign node and edge weights in place, hitting the target granularity.
+
+    Node weights are uniform integers in ``weight_range`` (section 3.3).
+    Each non-sink's heaviest outgoing edge is sized so the node's
+    weight/edge ratio scatters (log-normally, ``jitter`` sigma) around the
+    target; remaining out-edges get 30–100% of the heaviest.  A single
+    closing rescale of all edge weights makes the realized paper-formula
+    granularity *exactly* the target.
+    """
+    wmin, wmax = weight_range
+    if not (0 < wmin <= wmax):
+        raise GenerationError(f"bad weight range {weight_range}")
+    if target_granularity <= 0:
+        raise GenerationError("target granularity must be positive")
+    for t in graph.tasks():
+        graph.add_task(t, float(rng.integers(wmin, wmax + 1)))
+    for t in graph.tasks():
+        out = graph.successors(t)
+        if not out:
+            continue
+        g_i = target_granularity * math.exp(rng.normal(0.0, jitter))
+        max_edge = graph.weight(t) / g_i
+        heavy = out[int(rng.integers(len(out)))]
+        for s in out:
+            if s == heavy:
+                graph.add_edge(t, s, max_edge)
+            else:
+                graph.add_edge(t, s, max_edge * rng.uniform(0.3, 1.0))
+    scale = granularity(graph) / target_granularity
+    for u, v in graph.edges():
+        graph.add_edge(u, v, graph.edge_weight(u, v) * scale)
+
+
+#: Sampling windows for a target granularity inside each paper band.  The
+#: open-ended bands get practical inner limits; all windows sit strictly
+#: inside the band so float error in the closing rescale cannot leak out.
+_BAND_WINDOWS: tuple[tuple[float, float], ...] = (
+    (0.012, 0.075),
+    (0.085, 0.19),
+    (0.21, 0.78),
+    (0.82, 1.95),
+    (2.05, 8.0),
+)
+
+
+def sample_target_granularity(band: int, rng: np.random.Generator) -> float:
+    """Log-uniform granularity target within paper band ``band`` (0..4)."""
+    if not 0 <= band < len(GRANULARITY_BANDS):
+        raise GenerationError(f"band must be 0..{len(GRANULARITY_BANDS) - 1}")
+    lo, hi = _BAND_WINDOWS[band]
+    return float(math.exp(rng.uniform(math.log(lo), math.log(hi))))
+
+
+def generate_pdg(
+    rng: np.random.Generator,
+    *,
+    n_tasks: int,
+    band: int,
+    anchor: int,
+    weight_range: tuple[int, int],
+    max_attempts: int = 25,
+) -> TaskGraph:
+    """One random PDG in the given classification cell.
+
+    Resamples the parse tree when anchor adjustment fails; verifies the
+    realized classification before returning.
+    """
+    last_error: GenerationError | None = None
+    for _ in range(max_attempts):
+        tree = random_parse_tree(n_tasks, rng)
+        graph = sp_dag_from_tree(tree)
+        if graph.n_edges == 0:  # fully independent: no anchor/granularity
+            continue
+        try:
+            adjust_anchor(graph, anchor, rng)
+        except GenerationError as exc:
+            last_error = exc
+            continue
+        target = sample_target_granularity(band, rng)
+        assign_weights(graph, rng, weight_range=weight_range, target_granularity=target)
+        lo, hi = GRANULARITY_BANDS[band]
+        g = granularity(graph)
+        if not (lo <= g < hi):  # pragma: no cover - rescale is exact
+            last_error = GenerationError(f"granularity {g} missed band {band}")
+            continue
+        if _mode_out_degree(graph) != anchor:  # pragma: no cover
+            last_error = GenerationError("anchor drifted")
+            continue
+        return graph
+    raise GenerationError(
+        f"could not generate a graph for band={band} anchor={anchor} "
+        f"n={n_tasks}: {last_error}"
+    )

@@ -1,0 +1,140 @@
+"""The paper's 2100-graph test suite (Table 1).
+
+Sixty cells — 5 granularity bands x 4 anchor out-degrees x 3 node-weight
+ranges — of 35 graphs each.  Every cell is generated from its own child seed
+of one master seed, so the suite is reproducible and any subset of cells can
+be regenerated independently.
+
+Note on weight ranges: the paper's section 3.3 and Tables 6–9 use
+[20,100] / [20,200] / [20,400]; Table 1's header instead says 10–100 /
+10–200 / 10–300.  We follow section 3.3 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import GRANULARITY_BANDS
+from ..core.taskgraph import TaskGraph
+from .random_dag import generate_pdg
+
+__all__ = [
+    "PAPER_ANCHORS",
+    "PAPER_WEIGHT_RANGES",
+    "PAPER_GRAPHS_PER_CELL",
+    "SuiteCell",
+    "SuiteGraph",
+    "suite_cells",
+    "generate_suite",
+    "band_label",
+    "weight_range_label",
+]
+
+PAPER_ANCHORS: tuple[int, ...] = (2, 3, 4, 5)
+PAPER_WEIGHT_RANGES: tuple[tuple[int, int], ...] = ((20, 100), (20, 200), (20, 400))
+PAPER_GRAPHS_PER_CELL: int = 35
+
+#: Row labels used throughout the paper's tables.
+_BAND_LABELS = ("G < 0.08", "0.08 < G < 0.2", "0.2 < G < 0.8", "0.8 < G < 2", "2 < G")
+
+
+def band_label(band: int) -> str:
+    """The paper's row label for granularity band ``band``."""
+    return _BAND_LABELS[band]
+
+
+def weight_range_label(weight_range: tuple[int, int]) -> str:
+    """The paper's row label for a node weight range."""
+    return f"{weight_range[0]} - {weight_range[1]}"
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """One Table-1 cell: a (granularity band, anchor, weight range) class."""
+
+    band: int
+    anchor: int
+    weight_range: tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.band < len(GRANULARITY_BANDS):
+            raise ValueError(f"band out of range: {self.band}")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{band_label(self.band)} / anchor {self.anchor} / "
+            f"weights {weight_range_label(self.weight_range)}"
+        )
+
+
+@dataclass(frozen=True)
+class SuiteGraph:
+    """A generated graph together with its classification cell."""
+
+    cell: SuiteCell
+    index: int
+    graph: TaskGraph
+
+    @property
+    def graph_id(self) -> str:
+        lo, hi = self.cell.weight_range
+        return f"b{self.cell.band}-a{self.cell.anchor}-w{lo}_{hi}-#{self.index}"
+
+
+def suite_cells() -> list[SuiteCell]:
+    """All 60 cells in Table 1's iteration order (band, anchor, range)."""
+    return [
+        SuiteCell(band, anchor, wr)
+        for band in range(len(GRANULARITY_BANDS))
+        for anchor in PAPER_ANCHORS
+        for wr in PAPER_WEIGHT_RANGES
+    ]
+
+
+def generate_suite(
+    *,
+    graphs_per_cell: int = PAPER_GRAPHS_PER_CELL,
+    seed: int = 19940815,
+    n_tasks_range: tuple[int, int] = (40, 100),
+    cells: list[SuiteCell] | None = None,
+) -> Iterator[SuiteGraph]:
+    """Lazily generate the classified random-graph suite.
+
+    ``graphs_per_cell=35`` with all 60 cells reproduces the paper's 2100
+    graphs.  Graph sizes are sampled uniformly from ``n_tasks_range`` (the
+    paper never states its sizes; see DESIGN.md).
+    """
+    if graphs_per_cell < 1:
+        raise ValueError("graphs_per_cell must be positive")
+    nmin, nmax = n_tasks_range
+    if not 2 <= nmin <= nmax:
+        raise ValueError(f"bad n_tasks_range {n_tasks_range}")
+    all_cells = suite_cells() if cells is None else cells
+    master = np.random.SeedSequence(seed)
+    # One child seed per *possible* cell keeps a cell's graphs identical
+    # whether or not other cells are generated.
+    index_of = {c: i for i, c in enumerate(suite_cells())}
+    children = master.spawn(len(index_of))
+    for cell in all_cells:
+        rng = np.random.default_rng(children[index_of.get(cell, 0)])
+        if cell not in index_of:
+            # Custom (non-Table-1) cell: derive a seed from its fields.
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    (seed, cell.band, cell.anchor, *cell.weight_range)
+                )
+            )
+        for i in range(graphs_per_cell):
+            n = int(rng.integers(nmin, nmax + 1))
+            graph = generate_pdg(
+                rng,
+                n_tasks=n,
+                band=cell.band,
+                anchor=cell.anchor,
+                weight_range=cell.weight_range,
+            )
+            yield SuiteGraph(cell, i, graph)

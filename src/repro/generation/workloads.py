@@ -1,0 +1,256 @@
+"""Deterministic structured task graphs.
+
+The paper's conclusion calls for testing on "DAGs generated from real serial
+programs"; these are the classic kernels the scheduling literature uses for
+exactly that.  Each factory takes computation and communication weight
+parameters so any granularity regime can be dialed in; all graphs are
+reproducible and validated.
+
+Used by the examples and the structured-workload benchmark.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GenerationError
+from ..core.taskgraph import TaskGraph
+
+__all__ = [
+    "chain",
+    "fork_join",
+    "diamond",
+    "out_tree",
+    "in_tree",
+    "fft_graph",
+    "gaussian_elimination",
+    "divide_and_conquer",
+    "stencil_1d",
+    "cholesky",
+    "wavefront",
+]
+
+
+def _check(comp: float, comm: float) -> None:
+    if comp <= 0:
+        raise GenerationError(f"comp weight must be positive, got {comp}")
+    if comm < 0:
+        raise GenerationError(f"comm weight must be non-negative, got {comm}")
+
+
+def chain(n: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A linear pipeline of ``n`` tasks — no exploitable parallelism."""
+    _check(comp, comm)
+    if n < 1:
+        raise GenerationError("chain needs at least one task")
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(i, comp)
+        if i:
+            g.add_edge(i - 1, i, comm)
+    return g
+
+
+def fork_join(width: int, *, stages: int = 1, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """``stages`` fork-join bulges of ``width`` parallel tasks each."""
+    _check(comp, comm)
+    if width < 1 or stages < 1:
+        raise GenerationError("width and stages must be positive")
+    g = TaskGraph()
+    nid = 0
+
+    def new(w: float) -> int:
+        nonlocal nid
+        g.add_task(nid, w)
+        nid += 1
+        return nid - 1
+
+    prev_join = new(comp)
+    for _ in range(stages):
+        mids = [new(comp) for _ in range(width)]
+        join = new(comp)
+        for m in mids:
+            g.add_edge(prev_join, m, comm)
+            g.add_edge(m, join, comm)
+        prev_join = join
+    return g
+
+
+def diamond(*, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """The 4-node diamond — the smallest fork-join."""
+    return fork_join(2, stages=1, comp=comp, comm=comm)
+
+
+def out_tree(depth: int, *, branching: int = 2, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A complete out-tree (root broadcasts work down ``depth`` levels)."""
+    _check(comp, comm)
+    if depth < 0 or branching < 1:
+        raise GenerationError("depth must be >= 0 and branching >= 1")
+    g = TaskGraph()
+    g.add_task(0, comp)
+    frontier = [0]
+    nid = 1
+    for _ in range(depth):
+        nxt = []
+        for parent in frontier:
+            for _ in range(branching):
+                g.add_task(nid, comp)
+                g.add_edge(parent, nid, comm)
+                nxt.append(nid)
+                nid += 1
+        frontier = nxt
+    return g
+
+
+def in_tree(depth: int, *, branching: int = 2, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A complete in-tree (reduction toward a single sink)."""
+    tree = out_tree(depth, branching=branching, comp=comp, comm=comm)
+    reversed_graph = TaskGraph()
+    for t in tree.tasks():
+        reversed_graph.add_task(t, tree.weight(t))
+    for u, v in tree.edges():
+        reversed_graph.add_edge(v, u, tree.edge_weight(u, v))
+    return reversed_graph
+
+
+def fft_graph(k: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """The ``2^k``-point FFT butterfly: ``k + 1`` ranks of ``2^k`` tasks.
+
+    Task ``(s, i)`` at rank ``s`` depends on ``(s-1, i)`` and on its
+    butterfly partner ``(s-1, i xor 2^(s-1))``.
+    """
+    _check(comp, comm)
+    if k < 1:
+        raise GenerationError("fft_graph needs k >= 1")
+    n = 1 << k
+    g = TaskGraph()
+    for s in range(k + 1):
+        for i in range(n):
+            g.add_task((s, i), comp)
+            if s:
+                g.add_edge((s - 1, i), (s, i), comm)
+                partner = i ^ (1 << (s - 1))
+                g.add_edge((s - 1, partner), (s, i), comm)
+    return g
+
+
+def gaussian_elimination(n: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """Column-oriented Gaussian elimination on an ``n x n`` matrix.
+
+    Pivot task ``(k, k)`` enables the updates ``(k, j)`` for ``j > k``;
+    update ``(k, j)`` feeds the next step's task in column ``j``.  The
+    classic wide-then-narrowing staircase DAG.
+    """
+    _check(comp, comm)
+    if n < 2:
+        raise GenerationError("gaussian_elimination needs n >= 2")
+    g = TaskGraph()
+    for k in range(n - 1):
+        for j in range(k, n):
+            g.add_task((k, j), comp)
+    for k in range(n - 1):
+        for j in range(k + 1, n):
+            g.add_edge((k, k), (k, j), comm)  # pivot enables update
+            if k + 1 <= n - 2 and j >= k + 1:
+                g.add_edge((k, j), (k + 1, j), comm)  # column carries forward
+    return g
+
+
+def divide_and_conquer(depth: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """Binary divide phase followed by a mirrored conquer phase.
+
+    ``2^(depth+1) - 1`` split tasks, the same number of merge tasks, with
+    each leaf split feeding its merge twin.
+    """
+    _check(comp, comm)
+    if depth < 0:
+        raise GenerationError("depth must be >= 0")
+    g = TaskGraph()
+
+    def split(node: int, d: int) -> list[int]:
+        g.add_task(("s", node), comp)
+        if d == depth:
+            return [node]
+        leaves = []
+        for child in (2 * node + 1, 2 * node + 2):
+            leaves += split(child, d + 1)
+            g.add_edge(("s", node), ("s", child), comm)
+        return leaves
+
+    def merge(node: int, d: int) -> None:
+        g.add_task(("m", node), comp)
+        if d == depth:
+            g.add_edge(("s", node), ("m", node), comm)
+            return
+        for child in (2 * node + 1, 2 * node + 2):
+            merge(child, d + 1)
+            g.add_edge(("m", child), ("m", node), comm)
+
+    split(0, 0)
+    merge(0, 0)
+    return g
+
+
+def stencil_1d(width: int, steps: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A 1-D three-point stencil: ``steps`` sweeps over ``width`` cells."""
+    _check(comp, comm)
+    if width < 1 or steps < 1:
+        raise GenerationError("width and steps must be positive")
+    g = TaskGraph()
+    for t in range(steps):
+        for i in range(width):
+            g.add_task((t, i), comp)
+            if t:
+                for j in (i - 1, i, i + 1):
+                    if 0 <= j < width:
+                        g.add_edge((t - 1, j), (t, i), comm)
+    return g
+
+
+def cholesky(n: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """Tiled right-looking Cholesky factorization on an ``n x n`` tile grid.
+
+    Tasks: ``("potrf", k)``, ``("trsm", k, i)`` for i > k,
+    ``("syrk", k, i)`` and ``("gemm", k, i, j)`` updates.  The classic
+    irregular staircase DAG used throughout the runtime-systems literature.
+    """
+    _check(comp, comm)
+    if n < 1:
+        raise GenerationError("cholesky needs n >= 1")
+    g = TaskGraph()
+    for k in range(n):
+        g.add_task(("potrf", k), comp)
+        if k:
+            g.add_edge(("syrk", k - 1, k), ("potrf", k), comm)
+        for i in range(k + 1, n):
+            g.add_task(("trsm", k, i), comp)
+            g.add_edge(("potrf", k), ("trsm", k, i), comm)
+            if k:
+                g.add_edge(("gemm", k - 1, i, k), ("trsm", k, i), comm)
+        for i in range(k + 1, n):
+            g.add_task(("syrk", k, i), comp)
+            g.add_edge(("trsm", k, i), ("syrk", k, i), comm)
+            if k:
+                g.add_edge(("syrk", k - 1, i), ("syrk", k, i), comm)
+            for j in range(k + 1, i):
+                g.add_task(("gemm", k, i, j), comp)
+                g.add_edge(("trsm", k, i), ("gemm", k, i, j), comm)
+                g.add_edge(("trsm", k, j), ("gemm", k, i, j), comm)
+                if k:
+                    g.add_edge(("gemm", k - 1, i, j), ("gemm", k, i, j), comm)
+    return g
+
+
+def wavefront(rows: int, cols: int, *, comp: float = 10.0, comm: float = 5.0) -> TaskGraph:
+    """A 2-D wavefront sweep: ``(i, j)`` depends on its north and west
+    neighbours (dynamic programming / Smith-Waterman shape)."""
+    _check(comp, comm)
+    if rows < 1 or cols < 1:
+        raise GenerationError("rows and cols must be positive")
+    g = TaskGraph()
+    for i in range(rows):
+        for j in range(cols):
+            g.add_task((i, j), comp)
+            if i:
+                g.add_edge((i - 1, j), (i, j), comm)
+            if j:
+                g.add_edge((i, j - 1), (i, j), comm)
+    return g

@@ -1,0 +1,98 @@
+"""CPOP — Critical Path On a Processor (Topcuoglu, Hariri & Wu).
+
+HEFT's companion algorithm from the same paper.  Where HEFT treats all
+tasks alike, CPOP pins the *critical path* to the single best processor:
+
+1. upward and downward ranks on mean execution times; a task's priority is
+   their sum, and tasks whose priority equals the graph's critical-path
+   length form the critical path;
+2. the *critical-path processor* is the one minimizing the path's total
+   execution time (the fastest, on our uniform-weight machines);
+3. scheduling by priority: critical tasks go to the CP processor,
+   everything else to its earliest-finish processor (insertion enabled).
+
+On machines with one much faster processor CPOP's pinning is a strong
+prior; on balanced machines HEFT usually wins — the benchmark shows both.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.exceptions import GraphError
+from ..core.schedule import Schedule
+from ..core.taskgraph import Task, TaskGraph
+from .heft import _MachineState, upward_ranks
+from .machine import HeterogeneousMachine
+
+__all__ = ["CPOPScheduler"]
+
+
+def downward_ranks(graph: TaskGraph, machine: HeterogeneousMachine) -> dict[Task, float]:
+    """Mean-execution t-levels with communication (CPOP's second rank)."""
+    ranks: dict[Task, float] = {}
+    for t in graph.topological_order():
+        best = 0.0
+        for p, c in graph.in_edges(t).items():
+            cand = ranks[p] + machine.mean_exec_time(graph.weight(p)) + c
+            if cand > best:
+                best = cand
+        ranks[t] = best
+    return ranks
+
+
+class CPOPScheduler:
+    """Critical-path-on-a-processor scheduling for heterogeneous machines."""
+
+    def __init__(self, machine: HeterogeneousMachine) -> None:
+        self.machine = machine
+        self.name = f"CPOP@{machine.n_processors}"
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        """Schedule ``graph``; validate with
+        :func:`~repro.hetero.machine.validate_on_machine`."""
+        if graph.n_tasks == 0:
+            raise GraphError("CPOP: cannot schedule an empty graph")
+        graph.validate()
+        machine = self.machine
+        up = upward_ranks(graph, machine)
+        down = downward_ranks(graph, machine)
+        priority = {t: up[t] + down[t] for t in graph.tasks()}
+        cp_value = max(up[t] for t in graph.tasks() if graph.in_degree(t) == 0)
+        critical = {t for t in graph.tasks() if abs(priority[t] - cp_value) < 1e-9}
+
+        # the CP processor executes the whole critical path fastest; with
+        # uniform weights that is simply the fastest processor
+        cp_work = sum(graph.weight(t) for t in critical)
+        cp_proc = min(
+            range(machine.n_processors),
+            key=lambda p: (machine.exec_time(cp_work, p), p),
+        )
+
+        state = _MachineState(graph, machine)
+        seq = {t: i for i, t in enumerate(graph.topological_order())}
+        n_sched_preds = {t: 0 for t in graph.tasks()}
+        ready = [
+            (-priority[t], seq[t], t)
+            for t in graph.tasks()
+            if graph.in_degree(t) == 0
+        ]
+        heapq.heapify(ready)
+        while ready:
+            _, _, task = heapq.heappop(ready)
+            if task in critical:
+                proc = cp_proc
+                start = state.est(task, proc, insertion=True)
+            else:
+                proc, best_finish, start = 0, float("inf"), 0.0
+                for p in range(machine.n_processors):
+                    s = state.est(task, p, insertion=True)
+                    f = s + machine.exec_time(graph.weight(task), p)
+                    if f < best_finish - 1e-12:
+                        proc, best_finish, start = p, f, s
+            state.place(task, proc, start)
+            for succ in graph.successors(task):
+                n_sched_preds[succ] += 1
+                if n_sched_preds[succ] == graph.in_degree(succ):
+                    heapq.heappush(ready, (-priority[succ], seq[succ], succ))
+        return state.schedule

@@ -1,0 +1,138 @@
+"""HEFT and a speed-aware list-scheduling baseline.
+
+HEFT (Topcuoglu, Hariri & Wu, 2002) is the de-facto standard for the
+heterogeneous model:
+
+1. **Upward rank**: ``rank(t) = mean_exec(t) + max over successors s of
+   (c(t, s) + rank(s))`` — a b-level on averaged execution times;
+2. tasks in descending rank order (a topological order);
+3. each task placed on the processor minimizing its **earliest finish
+   time**, with idle-slot insertion.
+
+:class:`HeteroListScheduler` is the MH-style baseline: same ranks, but
+earliest-*start* placement without insertion — isolating how much HEFT's
+finish-time objective and insertion buy on skewed machines.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import GraphError
+from ..core.schedule import Schedule
+from ..core.taskgraph import Task, TaskGraph
+from .machine import HeterogeneousMachine
+
+__all__ = ["HEFTScheduler", "HeteroListScheduler"]
+
+
+def upward_ranks(graph: TaskGraph, machine: HeterogeneousMachine) -> dict[Task, float]:
+    """HEFT's upward ranks (mean-execution b-levels with communication)."""
+    ranks: dict[Task, float] = {}
+    for t in reversed(graph.topological_order()):
+        best = 0.0
+        for s, c in graph.out_edges(t).items():
+            cand = c + ranks[s]
+            if cand > best:
+                best = cand
+        ranks[t] = machine.mean_exec_time(graph.weight(t)) + best
+    return ranks
+
+
+class _MachineState:
+    """Per-processor interval bookkeeping with speed-scaled durations."""
+
+    def __init__(self, graph: TaskGraph, machine: HeterogeneousMachine) -> None:
+        self.graph = graph
+        self.machine = machine
+        self.intervals: list[list[tuple[float, float]]] = [
+            [] for _ in range(machine.n_processors)
+        ]
+        self.schedule = Schedule()
+        self.proc_of: dict[Task, int] = {}
+
+    def ready_time(self, task: Task, proc: int) -> float:
+        ready = 0.0
+        for pred, c in self.graph.in_edges(task).items():
+            arrival = self.schedule.finish(pred)
+            if self.proc_of[pred] != proc:
+                arrival += c
+            ready = max(ready, arrival)
+        return ready
+
+    def est(self, task: Task, proc: int, *, insertion: bool) -> float:
+        duration = self.machine.exec_time(self.graph.weight(task), proc)
+        ready = self.ready_time(task, proc)
+        row = self.intervals[proc]
+        if not insertion:
+            last = row[-1][1] if row else 0.0
+            return max(last, ready)
+        cursor = ready
+        for start, finish in row:
+            if cursor + duration <= start + 1e-12:
+                return cursor
+            if finish > cursor:
+                cursor = finish
+        return max(cursor, ready)
+
+    def place(self, task: Task, proc: int, start: float) -> None:
+        from bisect import insort
+
+        duration = self.machine.exec_time(self.graph.weight(task), proc)
+        self.schedule.place(task, proc, start, duration)
+        insort(self.intervals[proc], (start, start + duration))
+        self.proc_of[task] = proc
+
+
+class HEFTScheduler:
+    """Heterogeneous Earliest Finish Time.
+
+    Not part of the homogeneous registry (it needs a machine); construct
+    directly: ``HEFTScheduler(HeterogeneousMachine([1, 1, 2]))``.
+    """
+
+    def __init__(self, machine: HeterogeneousMachine, *, insertion: bool = True) -> None:
+        self.machine = machine
+        self.insertion = insertion
+        self.name = f"HEFT@{machine.n_processors}"
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        if graph.n_tasks == 0:
+            raise GraphError("HEFT: cannot schedule an empty graph")
+        graph.validate()
+        ranks = upward_ranks(graph, self.machine)
+        topo_pos = {t: i for i, t in enumerate(graph.topological_order())}
+        order = sorted(graph.tasks(), key=lambda t: (-ranks[t], topo_pos[t]))
+        state = _MachineState(graph, self.machine)
+        for task in order:
+            best_p, best_finish, best_start = 0, float("inf"), 0.0
+            for p in range(self.machine.n_processors):
+                start = state.est(task, p, insertion=self.insertion)
+                finish = start + self.machine.exec_time(graph.weight(task), p)
+                if finish < best_finish - 1e-12:
+                    best_p, best_finish, best_start = p, finish, start
+            state.place(task, best_p, best_start)
+        return state.schedule
+
+
+class HeteroListScheduler:
+    """Speed-aware MH-style baseline: earliest-start, no insertion."""
+
+    def __init__(self, machine: HeterogeneousMachine) -> None:
+        self.machine = machine
+        self.name = f"HMH@{machine.n_processors}"
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        if graph.n_tasks == 0:
+            raise GraphError("HMH: cannot schedule an empty graph")
+        graph.validate()
+        ranks = upward_ranks(graph, self.machine)
+        topo_pos = {t: i for i, t in enumerate(graph.topological_order())}
+        order = sorted(graph.tasks(), key=lambda t: (-ranks[t], topo_pos[t]))
+        state = _MachineState(graph, self.machine)
+        for task in order:
+            best_p, best_start = 0, float("inf")
+            for p in range(self.machine.n_processors):
+                start = state.est(task, p, insertion=False)
+                if start < best_start - 1e-12:
+                    best_p, best_start = p, start
+            state.place(task, best_p, best_start)
+        return state.schedule

@@ -1,0 +1,93 @@
+"""The heterogeneous machine model and its schedule validation."""
+
+from __future__ import annotations
+
+from ..core.exceptions import ScheduleError
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+
+__all__ = ["HeterogeneousMachine", "validate_on_machine"]
+
+_EPS = 1e-9
+
+
+class HeterogeneousMachine:
+    """A fixed pool of processors with relative speed factors.
+
+    Task ``t`` executes in ``graph.weight(t) / speed(p)`` time units on
+    processor ``p``.  Speeds are relative: ``speed == 1`` is the reference
+    (the weight is the execution time), ``speed == 2`` runs twice as fast.
+    Communication remains processor-independent (the paper's clique model).
+    """
+
+    def __init__(self, speeds: list[float] | tuple[float, ...]) -> None:
+        if not speeds:
+            raise ScheduleError("machine needs at least one processor")
+        for s in speeds:
+            if not (s > 0):
+                raise ScheduleError(f"speeds must be positive, got {s!r}")
+        self.speeds = tuple(float(s) for s in speeds)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.speeds)
+
+    @property
+    def mean_speed(self) -> float:
+        return sum(self.speeds) / len(self.speeds)
+
+    def exec_time(self, weight: float, processor: int) -> float:
+        """Execution time of a ``weight``-unit task on ``processor``."""
+        if not 0 <= processor < self.n_processors:
+            raise ScheduleError(
+                f"processor {processor} outside machine of {self.n_processors}"
+            )
+        return weight / self.speeds[processor]
+
+    def mean_exec_time(self, weight: float) -> float:
+        """Average execution time over all processors (HEFT's rank basis)."""
+        return sum(weight / s for s in self.speeds) / len(self.speeds)
+
+    @classmethod
+    def homogeneous(cls, n_processors: int, speed: float = 1.0) -> "HeterogeneousMachine":
+        """The paper's bounded homogeneous machine."""
+        return cls([speed] * n_processors)
+
+    def __repr__(self) -> str:
+        return f"HeterogeneousMachine(speeds={list(self.speeds)})"
+
+
+def validate_on_machine(
+    schedule: Schedule, graph: TaskGraph, machine: HeterogeneousMachine
+) -> None:
+    """Validate a schedule under speed-scaled durations and uniform comm."""
+    placed = {p.task for p in schedule}
+    if placed != set(graph.tasks()):
+        raise ScheduleError("schedule does not cover exactly the graph's tasks")
+    for p in schedule:
+        if not 0 <= p.processor < machine.n_processors:
+            raise ScheduleError(
+                f"task {p.task!r} on processor {p.processor} outside {machine!r}"
+            )
+        expect = machine.exec_time(graph.weight(p.task), p.processor)
+        if abs((p.finish - p.start) - expect) > _EPS:
+            raise ScheduleError(
+                f"task {p.task!r} runs {p.finish - p.start}, expected {expect} "
+                f"on processor {p.processor}"
+            )
+    for proc in schedule.processors:
+        row = schedule.tasks_on(proc)
+        for a, b in zip(row, row[1:]):
+            if b.start < a.finish - _EPS:
+                raise ScheduleError(
+                    f"tasks {a.task!r} and {b.task!r} overlap on processor {proc}"
+                )
+    for u, v in graph.edges():
+        pu, pv = schedule[u], schedule[v]
+        arrival = pu.finish
+        if pu.processor != pv.processor:
+            arrival += graph.edge_weight(u, v)
+        if pv.start < arrival - _EPS:
+            raise ScheduleError(
+                f"task {v!r} starts before its input from {u!r} arrives"
+            )

@@ -1,0 +1,144 @@
+"""Processor-pool bookkeeping shared by the list schedulers.
+
+The machine model has an unbounded pool of identical, fully connected
+processors; list schedulers grow the pool on demand.  The pool tracks, per
+processor, the placed (start, finish) intervals so schedulers can compute
+earliest start times either append-only (after the last task) or with
+idle-slot insertion (MCP).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from ..core.schedule import Schedule
+from ..core.taskgraph import Task, TaskGraph
+
+__all__ = ["ProcessorPool"]
+
+
+class ProcessorPool:
+    """Grows processors on demand and records task placements.
+
+    ``max_processors`` (None = unbounded, the paper's model) caps the pool:
+    once the cap is reached, fresh-processor candidates are no longer
+    offered, giving the *direct* bounded variants of the list schedulers
+    (as opposed to the fold-after post-pass in
+    :mod:`repro.schedulers.mapping`).
+    """
+
+    def __init__(self, graph: TaskGraph, *, max_processors: int | None = None) -> None:
+        if max_processors is not None and max_processors < 1:
+            raise ValueError(f"max_processors must be >= 1, got {max_processors}")
+        self._graph = graph
+        self._intervals: list[list[tuple[float, float, Task]]] = []
+        self.max_processors = max_processors
+        self.schedule = Schedule()
+        self.proc_of: dict[Task, int] = {}
+
+    @property
+    def n_processors(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def can_grow(self) -> bool:
+        """Whether a fresh processor may still be opened."""
+        return (
+            self.max_processors is None
+            or len(self._intervals) < self.max_processors
+        )
+
+    def ready_time(self, task: Task, proc: int) -> float:
+        """Earliest moment all of ``task``'s inputs are available on ``proc``.
+
+        ``proc == self.n_processors`` denotes a fresh processor (every
+        message then crosses processors).
+        """
+        ready = 0.0
+        for pred, c in self._graph.in_edges(task).items():
+            arrival = self.schedule.finish(pred)
+            if self.proc_of[pred] != proc:
+                arrival += c
+            if arrival > ready:
+                ready = arrival
+        return ready
+
+    def avail(self, proc: int) -> float:
+        """Finish time of the last task on ``proc`` (0 for a fresh one)."""
+        if proc >= len(self._intervals) or not self._intervals[proc]:
+            return 0.0
+        return self._intervals[proc][-1][1]
+
+    def est_append(self, task: Task, proc: int) -> float:
+        """Earliest start of ``task`` appended after everything on ``proc``."""
+        return max(self.avail(proc), self.ready_time(task, proc))
+
+    def est_insertion(self, task: Task, proc: int) -> float:
+        """Earliest start of ``task`` on ``proc`` allowing idle-slot insertion."""
+        duration = self._graph.weight(task)
+        ready = self.ready_time(task, proc)
+        if proc >= len(self._intervals):
+            return ready
+        cursor = ready
+        for start, finish, _ in self._intervals[proc]:
+            if cursor + duration <= start + 1e-12:
+                return cursor
+            if finish > cursor:
+                cursor = finish
+        return max(cursor, ready)
+
+    def place(self, task: Task, proc: int, start: float) -> None:
+        """Record ``task`` on ``proc`` at ``start`` (growing the pool by at
+        most one processor)."""
+        if proc > len(self._intervals):
+            raise ValueError("processor indices must be allocated contiguously")
+        if proc == len(self._intervals):
+            self._intervals.append([])
+        self.schedule.place(task, proc, start, self._graph.weight(task))
+        insort(self._intervals[proc], (start, start + self._graph.weight(task), task))
+        self.proc_of[task] = proc
+
+    def best_processor(
+        self, task: Task, *, insertion: bool = False
+    ) -> tuple[int, float]:
+        """Processor (existing or new) minimizing the start time of ``task``.
+
+        Returns ``(proc, start)``.  Ties prefer existing processors over a
+        fresh one, and lower indices first, which keeps results deterministic
+        and avoids gratuitous spreading.
+        """
+        est = self.est_insertion if insertion else self.est_append
+        if self.can_grow:
+            best_proc = len(self._intervals)  # the fresh-processor candidate
+            best_start = est(task, best_proc)
+        else:
+            best_proc = 0
+            best_start = est(task, 0)
+        for proc in range(len(self._intervals)):
+            start = est(task, proc)
+            if start < best_start - 1e-12 or (
+                abs(start - best_start) <= 1e-12 and proc < best_proc
+            ):
+                best_proc, best_start = proc, start
+        return best_proc, best_start
+
+    def earliest_available_processor(self) -> tuple[int, float]:
+        """Processor that is *free* earliest, ignoring message arrivals.
+
+        This is HU's processor-choice rule (appendix A.4): pick by machine
+        availability, not by where the task's data lives.  Ties prefer the
+        lowest existing index; a fresh processor (avail 0) is used only when
+        no existing processor is idle at time 0.
+        """
+        if self.can_grow:
+            best_proc = len(self._intervals)
+            best_avail = 0.0
+        else:
+            best_proc, best_avail = 0, self.avail(0)
+        for proc in range(len(self._intervals)):
+            avail = self.avail(proc)
+            if avail < best_avail - 1e-12 or (
+                abs(avail - best_avail) <= 1e-12 and proc < best_proc
+            ):
+                best_proc, best_avail = proc, avail
+        return best_proc, best_avail

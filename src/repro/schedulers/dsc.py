@@ -1,0 +1,151 @@
+"""DSC — Dominant Sequence Clustering (Yang & Gerasoulis).
+
+Appendix A.1 / Figures 7–8 of the paper.  DSC is an edge-zeroing clustering
+algorithm: tasks are examined in priority order
+``priority(n) = startbound(n) + level(n)`` (t-level + b-level — maximal on
+the current dominant sequence), and each *free* task either
+
+* merges into the predecessor cluster that minimizes its start time —
+  "zeroing" the edges from that cluster — when that does not increase its
+  start over the unmerged lower bound (**CT1**), and, when a partial-free
+  task outranks it, when the merge does not delay that task either
+  (**CT2**); or
+* starts a fresh cluster at its lower-bound start time.
+
+Definitions used below (paper's timing values):
+
+* ``startbound(n)`` — earliest start on an independent cluster:
+  ``max over scheduled preds p of finish(p) + c(p, n)``;
+* ``ST(c, n)`` — start when appended to cluster ``c``:
+  ``max(avail(c), max over scheduled preds p of finish(p) + c(p, n) * [cluster(p) != c])``;
+* ``level(n)`` — communication-inclusive b-level, computed once on the
+  input graph (as in the DSC paper).
+
+Because only free tasks are ever scheduled, cluster orders follow a
+topological order and the recorded start times equal the shared simulator's
+timing rule, so the schedule is emitted directly.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import b_levels
+from ..core.schedule import Schedule
+from ..core.taskgraph import Task, TaskGraph
+from .base import Scheduler, register
+
+
+@register
+class DSCScheduler(Scheduler):
+    """Dominant sequence clustering on an unbounded processor pool."""
+
+    name = "DSC"
+
+    def __init__(self, *, use_ct2: bool = True) -> None:
+        #: CT2 guards partial-free tasks (DSC-II).  Exposed for ablation.
+        self.use_ct2 = use_ct2
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        level = b_levels(graph, communication=True)
+        seq = {t: i for i, t in enumerate(graph.tasks())}
+
+        finish: dict[Task, float] = {}
+        cluster_of: dict[Task, int] = {}
+        clusters: list[list[Task]] = []
+        cluster_avail: list[float] = []
+        schedule = Schedule()
+
+        n_sched_preds = {t: 0 for t in graph.tasks()}
+        unscheduled = set(graph.tasks())
+
+        def startbound(t: Task) -> float:
+            return max(
+                (
+                    finish[p] + c
+                    for p, c in graph.in_edges(t).items()
+                    if p in finish
+                ),
+                default=0.0,
+            )
+
+        def st_on(c: int, t: Task) -> float:
+            start = cluster_avail[c]
+            for p, w in graph.in_edges(t).items():
+                if p in finish:
+                    arrival = finish[p] + (w if cluster_of[p] != c else 0.0)
+                    if arrival > start:
+                        start = arrival
+            return start
+
+        def priority(t: Task) -> float:
+            return startbound(t) + level[t]
+
+        while unscheduled:
+            free = [t for t in unscheduled if n_sched_preds[t] == graph.in_degree(t)]
+            partial = [t for t in unscheduled if n_sched_preds[t] < graph.in_degree(t)]
+            nx = max(free, key=lambda t: (priority(t), -seq[t]))
+            ny = max(partial, key=lambda t: (priority(t), -seq[t])) if partial else None
+
+            sb = startbound(nx)
+            parent_clusters = sorted(
+                {cluster_of[p] for p in graph.predecessors(nx) if p in cluster_of}
+            )
+            target: int | None = None
+            if parent_clusters:
+                best_c = min(parent_clusters, key=lambda c: (st_on(c, nx), c))
+                st = st_on(best_c, nx)
+                ct1 = st <= sb + 1e-12
+                if ny is None or priority(nx) >= priority(ny):
+                    if ct1:
+                        target = best_c
+                else:
+                    if ct1 and self._ct2_ok(
+                        graph, ny, best_c, st + graph.weight(nx),
+                        finish, cluster_of, startbound,
+                    ):
+                        target = best_c
+
+            if target is None:
+                # fresh cluster at the lower-bound start time
+                target = len(clusters)
+                clusters.append([])
+                cluster_avail.append(0.0)
+                start = sb
+            else:
+                start = st_on(target, nx)
+
+            clusters[target].append(nx)
+            schedule.place(nx, target, start, graph.weight(nx))
+            finish[nx] = start + graph.weight(nx)
+            cluster_avail[target] = finish[nx]
+            cluster_of[nx] = target
+            unscheduled.remove(nx)
+            for s in graph.successors(nx):
+                n_sched_preds[s] += 1
+        return schedule
+
+    def _ct2_ok(
+        self,
+        graph: TaskGraph,
+        ny: Task,
+        cluster: int,
+        finish_nx: float,
+        finish: dict[Task, float],
+        cluster_of: dict[Task, int],
+        startbound,
+    ) -> bool:
+        """CT2: merging must not delay the higher-priority partial-free task.
+
+        If ``cluster`` holds a scheduled predecessor of ``ny``, occupying it
+        until ``finish_nx`` must not push ``ny``'s start there past its
+        independent-cluster lower bound (appendix A.1's "guarantees that the
+        start time of partial free nodes is never increased").
+        """
+        if not self.use_ct2:
+            return True
+        has_parent_here = any(
+            p in cluster_of and cluster_of[p] == cluster
+            for p in graph.predecessors(ny)
+        )
+        if not has_parent_here:
+            return True
+        return finish_nx <= startbound(ny) + 1e-12

@@ -1,0 +1,54 @@
+"""ETF — Earliest Task First (Hwang, Chow, Anger & Lee).
+
+An extension beyond the paper's five heuristics (DESIGN.md section 8): at
+every step, among all *ready* tasks, schedule the (task, processor) pair
+with the globally earliest start time, breaking ties by the static b-level.
+ETF is the classic dynamic-priority counterpart to MH's static-priority list
+scheduling and provides a sixth comparator for the testbed.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import b_levels
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ._pool import ProcessorPool
+from .base import Scheduler, register
+
+
+@register
+class ETFScheduler(Scheduler):
+    """Greedy global earliest-start-time scheduling."""
+
+    name = "ETF"
+
+    def __init__(self, *, max_processors: int | None = None) -> None:
+        #: None reproduces the paper's unbounded model; an integer gives the
+        #: direct bounded variant (fresh processors stop being offered).
+        self.max_processors = max_processors
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        level = b_levels(graph, communication=True)
+        seq = {t: i for i, t in enumerate(graph.tasks())}
+        pool = ProcessorPool(graph, max_processors=self.max_processors)
+
+        n_sched_preds = {t: 0 for t in graph.tasks()}
+        ready = {t for t in graph.tasks() if graph.in_degree(t) == 0}
+
+        while ready:
+            # Globally earliest (start, -level) over ready tasks.
+            best = None
+            for task in ready:
+                proc, start = pool.best_processor(task, insertion=False)
+                key = (start, -level[task], seq[task])
+                if best is None or key < best[0]:
+                    best = (key, task, proc, start)
+            assert best is not None
+            _, task, proc, start = best
+            pool.place(task, proc, start)
+            ready.remove(task)
+            for succ in graph.successors(task):
+                n_sched_preds[succ] += 1
+                if n_sched_preds[succ] == graph.in_degree(succ):
+                    ready.add(succ)
+        return pool.schedule

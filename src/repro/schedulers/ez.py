@@ -1,0 +1,49 @@
+"""EZ — Sarkar's edge-zeroing clustering (internalization pre-pass).
+
+An extension comparator beyond the paper's five heuristics.  Sarkar's
+algorithm examines edges in descending weight order and "zeroes" an edge —
+merges its endpoint clusters — whenever doing so does not increase the
+estimated parallel time.  The estimate here is the shared simulator itself
+(clusters ordered by b-level), so accepted merges are real improvements
+under the paper's execution model.
+
+O(e * (n + e)) with the incremental simulation; fine at testbed sizes.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import b_levels
+from ..core.schedule import Schedule
+from ..core.simulator import simulate_clustering
+from ..core.taskgraph import TaskGraph
+from .base import Scheduler, register
+
+
+@register
+class EZScheduler(Scheduler):
+    """Descending-weight edge zeroing with simulated acceptance checks."""
+
+    name = "EZ"
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        priority = b_levels(graph, communication=True)
+        cluster_of = {t: i for i, t in enumerate(graph.tasks())}
+
+        def makespan() -> float:
+            return simulate_clustering(graph, cluster_of, priority=priority).makespan
+
+        best = makespan()
+        edges = sorted(
+            ((u, v) for u, v in graph.edges()),
+            key=lambda e: (-graph.edge_weight(*e), repr(e)),
+        )
+        for u, v in edges:
+            cu, cv = cluster_of[u], cluster_of[v]
+            if cu == cv:
+                continue
+            merged = {t: (cu if c == cv else c) for t, c in cluster_of.items()}
+            trial = simulate_clustering(graph, merged, priority=priority).makespan
+            if trial <= best + 1e-12:
+                cluster_of = merged
+                best = trial
+        return simulate_clustering(graph, cluster_of, priority=priority)

@@ -1,0 +1,50 @@
+"""HLFET — Highest Level First with Estimated Times (Adam, Chandy & Dickson).
+
+The classical list-scheduling baseline the comparison literature descends
+from.  Priority is the static computation-only level (like HU); placement
+is on the processor where the task *starts earliest* (like MH).  HLFET
+therefore sits exactly between the paper's two list schedulers and isolates
+their difference from the other side: same priority as HU, same placement
+rule as MH.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.analysis import hu_levels
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ._pool import ProcessorPool
+from .base import Scheduler, register
+
+
+@register
+class HLFETScheduler(Scheduler):
+    """Computation-only levels + earliest-start processor choice."""
+
+    name = "HLFET"
+
+    def __init__(self, *, max_processors: int | None = None) -> None:
+        #: None reproduces the paper's unbounded model; an integer gives the
+        #: direct bounded variant (fresh processors stop being offered).
+        self.max_processors = max_processors
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        level = hu_levels(graph)
+        seq = {t: i for i, t in enumerate(graph.tasks())}
+        pool = ProcessorPool(graph, max_processors=self.max_processors)
+
+        n_sched_preds = {t: 0 for t in graph.tasks()}
+        free = [(-level[t], seq[t], t) for t in graph.tasks() if graph.in_degree(t) == 0]
+        heapq.heapify(free)
+
+        while free:
+            _, _, task = heapq.heappop(free)
+            proc, start = pool.best_processor(task, insertion=False)
+            pool.place(task, proc, start)
+            for succ in graph.successors(task):
+                n_sched_preds[succ] += 1
+                if n_sched_preds[succ] == graph.in_degree(succ):
+                    heapq.heappush(free, (-level[succ], seq[succ], succ))
+        return pool.schedule

@@ -1,0 +1,58 @@
+"""HU — Lewis & El-Rewini's communication-cost variant of Hu's algorithm.
+
+Appendix A.4 / Figure 13 of the paper.  Tasks are prioritized by the
+classical Hu level (the communication-*free* bottom level) and released in a
+free list once all predecessors are scheduled.  Each task is assigned to the
+processor that is **free earliest** — the choice ignores where the task's
+input data lives, although the task's actual start time still waits for its
+messages to arrive.
+
+With an unbounded processor pool that rule spreads tasks maximally: a fresh
+processor is free at time 0, so nearly every task lands on its own processor
+and pays full communication on every edge.  This is exactly the behaviour the
+paper observes — HU retards *all* low-granularity graphs (Table 2), has the
+worst relative parallel time everywhere (Tables 3/7/11) and near-zero
+efficiency (Tables 5/9).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..core.analysis import hu_levels
+from ..core.schedule import Schedule
+from ..core.taskgraph import TaskGraph
+from ._pool import ProcessorPool
+from .base import Scheduler, register
+
+
+@register
+class HuScheduler(Scheduler):
+    """Hu levels + earliest-available-processor assignment."""
+
+    name = "HU"
+
+    def __init__(self, *, max_processors: int | None = None) -> None:
+        #: None reproduces the paper's unbounded model; an integer gives the
+        #: direct bounded variant (fresh processors stop being offered).
+        self.max_processors = max_processors
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        level = hu_levels(graph)
+        seq = {t: i for i, t in enumerate(graph.tasks())}
+        pool = ProcessorPool(graph, max_processors=self.max_processors)
+
+        n_sched_preds = {t: 0 for t in graph.tasks()}
+        free = [(-level[t], seq[t], t) for t in graph.tasks() if graph.in_degree(t) == 0]
+        heapq.heapify(free)
+
+        while free:
+            _, _, task = heapq.heappop(free)
+            proc, _avail = pool.earliest_available_processor()
+            start = pool.est_append(task, proc)
+            pool.place(task, proc, start)
+            for succ in graph.successors(task):
+                n_sched_preds[succ] += 1
+                if n_sched_preds[succ] == graph.in_degree(succ):
+                    heapq.heappush(free, (-level[succ], seq[succ], succ))
+        return pool.schedule

@@ -1,0 +1,118 @@
+"""Local-search schedule improvement.
+
+A post-optimizer usable behind any heuristic: starting from the heuristic's
+processor assignment, repeatedly try moving single tasks to other
+processors (including a fresh one), re-timing with the shared simulator,
+and keep the first improving move.  Rounds repeat until a fixed point or
+``max_rounds``.
+
+This is the simplest member of the iterative-improvement family the paper's
+section 5.2 gestures at ("the best scheduler may be different for different
+classes") — instead of choosing the best heuristic per class, spend cycles
+improving whichever schedule a heuristic produced.  The optimality-gap
+benchmark quantifies how much that closes the gap.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import b_levels
+from ..core.schedule import Schedule
+from ..core.simulator import simulate_clustering
+from ..core.taskgraph import TaskGraph
+from .base import Scheduler, get_scheduler
+
+__all__ = ["LocalSearchImprover"]
+
+
+class LocalSearchImprover(Scheduler):
+    """Wrap a scheduler with task-move local search.
+
+    Not registered (parameterized); construct directly::
+
+        LocalSearchImprover("MCP").schedule(graph)
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler | str,
+        *,
+        max_rounds: int = 4,
+    ) -> None:
+        self.inner = get_scheduler(inner) if isinstance(inner, str) else inner
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self.name = f"{self.inner.name}+ls"
+        #: Number of accepted moves in the last schedule() call.
+        self.last_moves = 0
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        seed = self.inner.schedule(graph)
+        priority = b_levels(graph, communication=True)
+        assignment = {p.task: p.processor for p in seed}
+        current = simulate_clustering(graph, assignment, priority=priority)
+        # the re-timing may order clusters differently from the inner
+        # heuristic; keep whichever is better as the incumbent
+        best_schedule = seed if seed.makespan <= current.makespan else current
+        best_span = min(seed.makespan, current.makespan)
+        if current.makespan > best_span:
+            current = best_schedule
+            assignment = {p.task: p.processor for p in current}
+
+        self.last_moves = 0
+        tasks = sorted(graph.tasks(), key=lambda t: -priority[t])
+        for _ in range(self.max_rounds):
+            improved = False
+            # phase 1: single-task moves (strict improvement only)
+            for task in tasks:
+                home = assignment[task]
+                procs = sorted(set(assignment.values()))
+                fresh = max(procs) + 1
+                for target in [*procs, fresh]:
+                    if target == home:
+                        continue
+                    assignment[task] = target
+                    trial = simulate_clustering(
+                        graph, assignment, priority=priority
+                    )
+                    if trial.makespan < best_span - 1e-9:
+                        best_span = trial.makespan
+                        best_schedule = trial
+                        home = target
+                        self.last_moves += 1
+                        improved = True
+                        break
+                    assignment[task] = home
+            # phase 2: whole-cluster merges.  Equal-makespan merges are
+            # accepted too: they shrink the cluster count (so the phase
+            # terminates) and step across the plateaus that block phase 1
+            # — e.g. folding two heavy-communication clusters together is
+            # often neutral until the *second* merge pays off.
+            merged = True
+            while merged:
+                merged = False
+                procs = sorted(set(assignment.values()))
+                for i, a in enumerate(procs):
+                    for b in procs[i + 1 :]:
+                        trial_assignment = {
+                            t: (a if c == b else c) for t, c in assignment.items()
+                        }
+                        trial = simulate_clustering(
+                            graph, trial_assignment, priority=priority
+                        )
+                        if trial.makespan <= best_span + 1e-9:
+                            strictly = trial.makespan < best_span - 1e-9
+                            assignment = trial_assignment
+                            if trial.makespan <= best_schedule.makespan:
+                                best_schedule = trial
+                            best_span = trial.makespan
+                            merged = True
+                            if strictly:
+                                self.last_moves += 1
+                                improved = True
+                            break
+                    if merged:
+                        break
+            if not improved:
+                break
+        return best_schedule

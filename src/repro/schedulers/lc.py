@@ -1,0 +1,36 @@
+"""LC — Linear Clustering (Kim & Browne, 1988).
+
+An extension comparator beyond the paper's five heuristics (the paper
+explicitly invites adding heuristics that share its execution model,
+section 5.2).  LC repeatedly extracts the current communication-inclusive
+critical path of the *unexamined* subgraph and makes it one cluster —
+every cluster is a chain, hence "linear" clustering.
+
+The per-cluster orders are subsequences of directed paths, so they always
+compose into a valid schedule under the shared simulator.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import critical_path
+from ..core.schedule import Schedule
+from ..core.simulator import simulate_ordered
+from ..core.taskgraph import TaskGraph
+from .base import Scheduler, register
+
+
+@register
+class LCScheduler(Scheduler):
+    """Iterated critical-path extraction into linear clusters."""
+
+    name = "LC"
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        remaining = graph.copy()
+        clusters: list[list] = []
+        while remaining.n_tasks:
+            path = critical_path(remaining, communication=True)
+            clusters.append(path)
+            for t in path:
+                remaining.remove_task(t)
+        return simulate_ordered(graph, clusters)

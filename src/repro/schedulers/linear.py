@@ -1,0 +1,24 @@
+"""Serial baseline: everything on one processor.
+
+Its makespan is the paper's *serial time* (sum of node weights), the
+denominator-free reference point for speedup.  Useful as a sanity baseline —
+any heuristic whose schedule is slower than this one has "retarded" the
+program (speedup < 1), the paper's Table 2/6/10 measure.
+"""
+
+from __future__ import annotations
+
+from ..core.schedule import Schedule
+from ..core.simulator import serial_schedule
+from ..core.taskgraph import TaskGraph
+from .base import Scheduler, register
+
+
+@register
+class SerialScheduler(Scheduler):
+    """All tasks on processor 0, in topological order."""
+
+    name = "SERIAL"
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        return serial_schedule(graph)

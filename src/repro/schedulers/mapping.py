@@ -1,0 +1,122 @@
+"""Bounded-processor mapping: folding clusterings onto p processors.
+
+The paper's model (section 2, assumption 2) gives every heuristic an
+*arbitrary* number of processors.  Real machines do not; the classical
+remedy (Sarkar's assignment phase, Yang & Gerasoulis' cluster merging) is
+a post-pass that folds the clusters produced by any unbounded heuristic
+onto a fixed pool.
+
+:class:`BoundedScheduler` wraps any registered scheduler with such a
+post-pass:
+
+1. run the inner heuristic on the unbounded model;
+2. take its clusters (one per processor used) and pack them onto ``p``
+   physical processors with LPT (longest processing time first) load
+   balancing — clusters stay intact, so the inner heuristic's zeroing
+   decisions survive;
+3. re-time the folded assignment with the shared simulator.
+
+``work-profiling`` merging (the guided variant) additionally tries, for
+each cluster in descending work order, every target processor and keeps
+the one minimizing the *simulated* makespan — slower, noticeably better
+on small ``p``.
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ScheduleError
+from ..core.schedule import Schedule
+from ..core.simulator import simulate_clustering
+from ..core.taskgraph import Task, TaskGraph
+from .base import Scheduler, get_scheduler
+
+__all__ = ["BoundedScheduler", "fold_clusters_lpt", "fold_clusters_guided"]
+
+
+def fold_clusters_lpt(
+    graph: TaskGraph, clusters: list[list[Task]], n_processors: int
+) -> dict[Task, int]:
+    """LPT-pack whole clusters onto ``n_processors`` processors.
+
+    Clusters are placed in descending total-work order onto the currently
+    least-loaded processor.  Returns a task -> processor assignment.
+    """
+    if n_processors < 1:
+        raise ScheduleError(f"need at least one processor, got {n_processors}")
+    order = sorted(
+        range(len(clusters)),
+        key=lambda i: (-sum(graph.weight(t) for t in clusters[i]), i),
+    )
+    loads = [0.0] * n_processors
+    assignment: dict[Task, int] = {}
+    for ci in order:
+        target = min(range(n_processors), key=lambda p: (loads[p], p))
+        for t in clusters[ci]:
+            assignment[t] = target
+            loads[target] += graph.weight(t)
+    return assignment
+
+
+def fold_clusters_guided(
+    graph: TaskGraph, clusters: list[list[Task]], n_processors: int
+) -> dict[Task, int]:
+    """Work-profiling merge: place each cluster where the simulated
+    makespan grows least.
+
+    O(clusters * p * simulate); use for small graphs or small ``p``.
+    """
+    if n_processors < 1:
+        raise ScheduleError(f"need at least one processor, got {n_processors}")
+    order = sorted(
+        range(len(clusters)),
+        key=lambda i: (-sum(graph.weight(t) for t in clusters[i]), i),
+    )
+    assignment: dict[Task, int] = {}
+    placed: list[Task] = []
+    for ci in order:
+        tasks = clusters[ci]
+        placed.extend(tasks)
+        sub = graph.subgraph(placed)
+        best_p, best_span = 0, float("inf")
+        for p in range(n_processors):
+            trial = dict(assignment)
+            for t in tasks:
+                trial[t] = p
+            span = simulate_clustering(sub, trial).makespan
+            if span < best_span - 1e-12:
+                best_p, best_span = p, span
+        for t in tasks:
+            assignment[t] = best_p
+    return assignment
+
+
+class BoundedScheduler(Scheduler):
+    """Wrap any scheduler with a fold-to-p-processors post-pass.
+
+    Not registered (it is parameterized); construct directly::
+
+        BoundedScheduler("DSC", n_processors=4).schedule(graph)
+    """
+
+    def __init__(
+        self,
+        inner: Scheduler | str,
+        n_processors: int,
+        *,
+        guided: bool = False,
+    ) -> None:
+        self.inner = get_scheduler(inner) if isinstance(inner, str) else inner
+        if n_processors < 1:
+            raise ScheduleError(f"need at least one processor, got {n_processors}")
+        self.n_processors = n_processors
+        self.guided = guided
+        self.name = f"{self.inner.name}@p{n_processors}"
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        unbounded = self.inner.schedule(graph)
+        if unbounded.n_processors <= self.n_processors:
+            return unbounded
+        clusters = unbounded.clusters()
+        fold = fold_clusters_guided if self.guided else fold_clusters_lpt
+        assignment = fold(graph, clusters, self.n_processors)
+        return simulate_clustering(graph, assignment)

@@ -1,0 +1,65 @@
+"""MCP — the Modified Critical Path algorithm of Wu & Gajski.
+
+Appendix A.2 / Figure 9 of the paper.  The heuristic:
+
+1. computes each task's ALAP start time ``T_L`` (latest start that keeps the
+   communication-inclusive critical path), so critical tasks get the
+   smallest ``T_L``;
+2. associates with every task the sorted list of the ``T_L`` values of the
+   task and all its descendants, and orders tasks by lexicographic
+   comparison of those lists — most critical first.  (The paper's Figure 9
+   says "sort in decreasing order and schedule head(L)", which would place
+   sinks before their predecessors; we follow the published MCP ordering —
+   smallest ALAP first — which is also a topological order, see DESIGN.md.)
+3. places each task, in that order, on the processor (existing or fresh)
+   giving the earliest start time, with idle-slot insertion.
+"""
+
+from __future__ import annotations
+
+from ..core.analysis import alap_times
+from ..core.schedule import Schedule
+from ..core.taskgraph import Task, TaskGraph
+from ._pool import ProcessorPool
+from .base import Scheduler, register
+
+
+@register
+class MCPScheduler(Scheduler):
+    """ALAP-priority list scheduling with idle-slot insertion."""
+
+    name = "MCP"
+
+    def __init__(
+        self, *, insertion: bool = True, max_processors: int | None = None
+    ) -> None:
+        #: When False, tasks are only appended after a processor's last task.
+        #: Exposed for the ablation benchmark (DESIGN.md section 8).
+        self.insertion = insertion
+        #: None reproduces the paper's unbounded model; an integer gives the
+        #: direct bounded variant.
+        self.max_processors = max_processors
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        order = self.priority_order(graph)
+        pool = ProcessorPool(graph, max_processors=self.max_processors)
+        for task in order:
+            proc, start = pool.best_processor(task, insertion=self.insertion)
+            pool.place(task, proc, start)
+        return pool.schedule
+
+    @staticmethod
+    def priority_order(graph: TaskGraph) -> list[Task]:
+        """Tasks ordered most-critical-first by (own ALAP, descendant ALAPs).
+
+        Every ancestor has a strictly smaller ALAP time than its descendants
+        (node weights are positive along the connecting path), so the order
+        is topological.
+        """
+        alap = alap_times(graph, communication=True)
+        seq = {t: i for i, t in enumerate(graph.tasks())}
+        keys: dict[Task, tuple] = {}
+        for t in graph.tasks():
+            tl_list = sorted([alap[t]] + [alap[d] for d in graph.descendants(t)])
+            keys[t] = (tuple(tl_list), seq[t])
+        return sorted(graph.tasks(), key=keys.__getitem__)

@@ -1,0 +1,200 @@
+"""Metaheuristic schedulers: genetic algorithm and simulated annealing.
+
+The third family in the scheduling literature after list scheduling and
+clustering (Hou/Ansari/Ren-style GAs; SA per Kirkpatrick applied to task
+assignment).  Both search the space of processor assignments directly,
+using the shared simulator as the fitness function, so their results are
+valid by construction under the paper's model.
+
+These are compute-for-quality knobs: with enough evaluations they approach
+the optimum on small graphs (the optimality-gap benchmark quantifies it),
+at costs far beyond the constructive heuristics.  Deterministic under
+``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.analysis import b_levels
+from ..core.schedule import Schedule
+from ..core.simulator import simulate_clustering
+from ..core.taskgraph import Task, TaskGraph
+from .base import Scheduler, get_scheduler, register
+
+__all__ = ["GeneticScheduler", "AnnealingScheduler"]
+
+
+@register
+class GeneticScheduler(Scheduler):
+    """Genetic search over processor assignments.
+
+    Chromosome = task -> processor vector (processors 0..p-1 with
+    ``p = max_processors`` or n).  Uniform crossover, point mutation,
+    tournament selection, elitism.  The population is seeded with the
+    assignments of the constructive heuristics, so the GA never does worse
+    than the best of its seeds.
+    """
+
+    name = "GA"
+
+    def __init__(
+        self,
+        *,
+        population: int = 24,
+        generations: int = 30,
+        mutation_rate: float = 0.05,
+        max_processors: int | None = None,
+        seed: int = 0,
+        seed_heuristics: tuple[str, ...] = ("CLANS", "DSC", "MCP", "MH"),
+    ) -> None:
+        if population < 4:
+            raise ValueError("population must be at least 4")
+        if generations < 1:
+            raise ValueError("generations must be at least 1")
+        self.population = population
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.max_processors = max_processors
+        self.seed = seed
+        self.seed_heuristics = seed_heuristics
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        rng = np.random.default_rng(self.seed)
+        tasks = graph.tasks()
+        n = len(tasks)
+        p = self.max_processors or n
+        priority = b_levels(graph, communication=True)
+
+        def fitness(genome: np.ndarray) -> float:
+            assignment = {t: int(genome[i]) for i, t in enumerate(tasks)}
+            return simulate_clustering(graph, assignment, priority=priority).makespan
+
+        pool: list[np.ndarray] = []
+        incumbent: Schedule | None = None
+        for name in self.seed_heuristics:
+            s = get_scheduler(name).schedule(graph)
+            if incumbent is None or s.makespan < incumbent.makespan:
+                incumbent = s
+            genome = np.array(
+                [s.processor_of(t) % p for t in tasks], dtype=np.int64
+            )
+            pool.append(genome)
+        while len(pool) < self.population:
+            pool.append(rng.integers(0, p, size=n))
+
+        scores = [fitness(g) for g in pool]
+        best_idx = int(np.argmin(scores))
+        best_genome, best_score = pool[best_idx].copy(), scores[best_idx]
+
+        for _ in range(self.generations):
+            next_pool = [best_genome.copy()]  # elitism
+            while len(next_pool) < self.population:
+                a = self._tournament(pool, scores, rng)
+                b = self._tournament(pool, scores, rng)
+                mask = rng.random(n) < 0.5
+                child = np.where(mask, a, b)
+                mutate = rng.random(n) < self.mutation_rate
+                if mutate.any():
+                    child = child.copy()
+                    child[mutate] = rng.integers(0, p, size=int(mutate.sum()))
+                next_pool.append(child)
+            pool = next_pool
+            scores = [fitness(g) for g in pool]
+            idx = int(np.argmin(scores))
+            if scores[idx] < best_score:
+                best_genome, best_score = pool[idx].copy(), scores[idx]
+
+        assignment = {t: int(best_genome[i]) for i, t in enumerate(tasks)}
+        found = simulate_clustering(graph, assignment, priority=priority)
+        # re-simulation may order a seed's clusters differently from the
+        # seed heuristic itself; never return worse than the best seed
+        # (usable only when the seed already respects the processor cap)
+        if (
+            incumbent is not None
+            and incumbent.n_processors <= p
+            and incumbent.makespan < found.makespan
+        ):
+            return incumbent
+        return found
+
+    @staticmethod
+    def _tournament(pool, scores, rng, k: int = 3) -> np.ndarray:
+        picks = rng.integers(0, len(pool), size=k)
+        winner = min(picks, key=lambda i: scores[i])
+        return pool[int(winner)]
+
+
+@register
+class AnnealingScheduler(Scheduler):
+    """Simulated annealing over processor assignments.
+
+    Neighbourhood = move one random task to a random processor.  Geometric
+    cooling; starts from the best constructive heuristic's assignment.
+    """
+
+    name = "SA"
+
+    def __init__(
+        self,
+        *,
+        steps: int = 800,
+        t_start: float = 0.2,
+        t_end: float = 0.002,
+        max_processors: int | None = None,
+        seed: int = 0,
+        start_heuristic: str = "MCP",
+    ) -> None:
+        if steps < 1:
+            raise ValueError("steps must be at least 1")
+        if not (0 < t_end <= t_start):
+            raise ValueError("need 0 < t_end <= t_start")
+        self.steps = steps
+        self.t_start = t_start
+        self.t_end = t_end
+        self.max_processors = max_processors
+        self.seed = seed
+        self.start_heuristic = start_heuristic
+
+    def _schedule(self, graph: TaskGraph) -> Schedule:
+        rng = np.random.default_rng(self.seed)
+        tasks = graph.tasks()
+        n = len(tasks)
+        p = self.max_processors or n
+        priority = b_levels(graph, communication=True)
+
+        def evaluate(assign: dict[Task, int]) -> float:
+            return simulate_clustering(graph, assign, priority=priority).makespan
+
+        start_schedule = get_scheduler(self.start_heuristic).schedule(graph)
+        current = {t: start_schedule.processor_of(t) % p for t in tasks}
+        current_score = evaluate(current)
+        best, best_score = dict(current), current_score
+        scale = max(current_score, 1.0)  # temperatures are relative
+
+        cooling = (self.t_end / self.t_start) ** (1.0 / max(self.steps - 1, 1))
+        temp = self.t_start
+        for _ in range(self.steps):
+            t = tasks[int(rng.integers(n))]
+            old = current[t]
+            new = int(rng.integers(p))
+            if new == old:
+                temp *= cooling
+                continue
+            current[t] = new
+            score = evaluate(current)
+            delta = (score - current_score) / scale
+            if delta <= 0 or rng.random() < np.exp(-delta / temp):
+                current_score = score
+                if score < best_score:
+                    best, best_score = dict(current), score
+            else:
+                current[t] = old
+            temp *= cooling
+        found = simulate_clustering(graph, best, priority=priority)
+        if (
+            start_schedule.n_processors <= p
+            and start_schedule.makespan < found.makespan
+        ):
+            return start_schedule
+        return found

@@ -1,0 +1,43 @@
+"""Processor network topologies and topology-aware scheduling.
+
+The paper (appendix A.3) notes that MH "considers processor speed,
+interconnection topology, and contention … Since the topology we use in
+our examples is fully-connected our experiment does not take advantage of
+this feature."  This subpackage builds the feature out:
+
+* :mod:`repro.topology.networks` — fixed processor networks (fully
+  connected, ring, 2-D mesh, hypercube, star) with hop distances;
+* :mod:`repro.topology.simulate` — timing/validation where a message
+  between processors costs ``edge weight * hop distance``;
+* :mod:`repro.topology.mh_topo` — the topology-aware MH variant, which
+  reduces exactly to bounded MH on a fully connected network.
+"""
+
+from .mh_topo import TopologyMHScheduler
+from .networks import (
+    FullyConnected,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    Star,
+    Topology,
+)
+from .contention import OnePortResult, Transfer, simulate_one_port
+from .port_aware import PortAwareScheduler
+from .simulate import simulate_on_topology, validate_on_topology
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "Star",
+    "simulate_on_topology",
+    "validate_on_topology",
+    "TopologyMHScheduler",
+    "simulate_one_port",
+    "OnePortResult",
+    "Transfer",
+    "PortAwareScheduler",
+]

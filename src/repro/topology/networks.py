@@ -1,0 +1,112 @@
+"""Fixed processor networks with hop distances.
+
+Under the topology model, a message whose edge weight is ``c`` sent between
+processors ``p`` and ``q`` takes ``c * distance(p, q)`` — store-and-forward
+over the shortest path, no contention.  ``distance(p, p) == 0`` always, so
+the fully connected network with unit distances reproduces the paper's
+uniform model on a bounded pool.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..core.exceptions import ScheduleError
+
+__all__ = ["Topology", "FullyConnected", "Ring", "Mesh2D", "Hypercube", "Star"]
+
+
+class Topology(ABC):
+    """A finite set of processors 0..n-1 with a hop metric."""
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 1:
+            raise ScheduleError(f"need at least one processor, got {n_processors}")
+        self.n_processors = n_processors
+
+    def distance(self, p: int, q: int) -> int:
+        """Hops between processors ``p`` and ``q`` (0 iff p == q)."""
+        self._check(p)
+        self._check(q)
+        if p == q:
+            return 0
+        return self._distance(p, q)
+
+    @abstractmethod
+    def _distance(self, p: int, q: int) -> int:
+        """Hop count for distinct, validated p and q."""
+
+    def _check(self, p: int) -> None:
+        if not 0 <= p < self.n_processors:
+            raise ScheduleError(
+                f"processor {p} outside topology of size {self.n_processors}"
+            )
+
+    @property
+    def diameter(self) -> int:
+        """Largest pairwise distance."""
+        return max(
+            self.distance(p, q)
+            for p in range(self.n_processors)
+            for q in range(self.n_processors)
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_processors={self.n_processors})"
+
+
+class FullyConnected(Topology):
+    """Every pair one hop apart — the paper's network, bounded."""
+
+    def _distance(self, p: int, q: int) -> int:
+        return 1
+
+
+class Ring(Topology):
+    """Bidirectional ring; distance is the shorter way around."""
+
+    def _distance(self, p: int, q: int) -> int:
+        d = abs(p - q)
+        return min(d, self.n_processors - d)
+
+
+class Mesh2D(Topology):
+    """A ``rows x cols`` grid with Manhattan distances."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ScheduleError("mesh dimensions must be positive")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def _distance(self, p: int, q: int) -> int:
+        pr, pc = divmod(p, self.cols)
+        qr, qc = divmod(q, self.cols)
+        return abs(pr - qr) + abs(pc - qc)
+
+    def __repr__(self) -> str:
+        return f"Mesh2D(rows={self.rows}, cols={self.cols})"
+
+
+class Hypercube(Topology):
+    """A ``2^dim``-processor hypercube; distance = Hamming distance."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 0:
+            raise ScheduleError("hypercube dimension must be >= 0")
+        super().__init__(1 << dim)
+        self.dim = dim
+
+    def _distance(self, p: int, q: int) -> int:
+        return (p ^ q).bit_count()
+
+    def __repr__(self) -> str:
+        return f"Hypercube(dim={self.dim})"
+
+
+class Star(Topology):
+    """Processor 0 is the hub; leaves talk through it (2 hops apart)."""
+
+    def _distance(self, p: int, q: int) -> int:
+        return 1 if p == 0 or q == 0 else 2

@@ -1,0 +1,129 @@
+"""Visualization exports: SVG Gantt charts, Chrome trace events, dot trees.
+
+Pure-string renderers (no plotting dependencies) so schedules and clan
+trees can be inspected in a browser:
+
+* :func:`schedule_to_svg` — a Gantt chart, one lane per processor, bars
+  labelled with task ids, communication-free (bars only);
+* :func:`schedule_to_trace` — Chrome ``chrome://tracing`` / Perfetto
+  trace-event JSON, one "thread" per processor;
+* :func:`clan_tree_to_dot` — Graphviz source for a clan parse tree.
+"""
+
+from __future__ import annotations
+
+import json
+import html
+
+from .clans.parse_tree import ClanKind, ClanNode
+from .core.schedule import Schedule
+
+__all__ = ["schedule_to_svg", "schedule_to_trace", "clan_tree_to_dot"]
+
+# a small qualitative palette; tasks cycle through it per processor lane
+_COLORS = (
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+)
+
+
+def schedule_to_svg(
+    schedule: Schedule,
+    *,
+    width: int = 900,
+    lane_height: int = 28,
+    font_size: int = 11,
+) -> str:
+    """Render a schedule as a self-contained SVG Gantt chart."""
+    procs = schedule.processors
+    span = schedule.makespan
+    if not procs or span <= 0:
+        return '<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>'
+    label_w = 46
+    chart_w = width - label_w
+    height = lane_height * len(procs) + 30
+    scale = chart_w / span
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="{font_size}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for lane, proc in enumerate(procs):
+        y = lane * lane_height + 4
+        parts.append(
+            f'<text x="4" y="{y + lane_height * 0.65:.1f}">P{proc}</text>'
+        )
+        for i, placed in enumerate(schedule.tasks_on(proc)):
+            x = label_w + placed.start * scale
+            w = max((placed.finish - placed.start) * scale, 1.0)
+            color = _COLORS[i % len(_COLORS)]
+            label = html.escape(str(placed.task))
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+                f'height="{lane_height - 8}" fill="{color}" rx="2">'
+                f"<title>{label}: {placed.start:g}-{placed.finish:g}</title></rect>"
+            )
+            if w > font_size * 1.5:
+                parts.append(
+                    f'<text x="{x + 3:.1f}" y="{y + lane_height * 0.6:.1f}" '
+                    f'fill="white">{label}</text>'
+                )
+    axis_y = lane_height * len(procs) + 16
+    parts.append(
+        f'<text x="{label_w}" y="{axis_y}">0</text>'
+        f'<text x="{width - 40}" y="{axis_y}">{span:g}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def schedule_to_trace(schedule: Schedule) -> str:
+    """Chrome trace-event JSON (load in chrome://tracing or Perfetto)."""
+    events = []
+    for placed in sorted(schedule, key=lambda p: (p.processor, p.start)):
+        events.append(
+            {
+                "name": str(placed.task),
+                "cat": "task",
+                "ph": "X",  # complete event
+                "ts": placed.start * 1000.0,  # model units -> "us"
+                "dur": (placed.finish - placed.start) * 1000.0,
+                "pid": 0,
+                "tid": placed.processor,
+            }
+        )
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+
+
+_KIND_STYLE = {
+    ClanKind.LINEAR: ("box", "#dbeafe"),
+    ClanKind.INDEPENDENT: ("ellipse", "#dcfce7"),
+    ClanKind.PRIMITIVE: ("hexagon", "#fee2e2"),
+    ClanKind.LEAF: ("plaintext", "#ffffff"),
+}
+
+
+def clan_tree_to_dot(tree: ClanNode) -> str:
+    """Graphviz source for a clan parse tree (kind-coloured nodes)."""
+    lines = ["digraph clans {", "  node [style=filled];"]
+    ids: dict[int, int] = {}
+
+    def visit(node: ClanNode) -> int:
+        nid = ids.setdefault(id(node), len(ids))
+        shape, fill = _KIND_STYLE[node.kind]
+        if node.is_leaf:
+            label = html.escape(str(node.task))
+        else:
+            label = f"{node.kind.value.upper()} ({node.size})"
+        lines.append(
+            f'  n{nid} [label="{label}", shape={shape}, fillcolor="{fill}"];'
+        )
+        for child in node.children:
+            cid = visit(child)
+            lines.append(f"  n{nid} -> n{cid};")
+        return nid
+
+    visit(tree)
+    lines.append("}")
+    return "\n".join(lines)

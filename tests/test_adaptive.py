@@ -1,0 +1,92 @@
+"""Tests for the adaptive (granularity-dispatching) scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro import TaskGraph, get_scheduler
+from repro.generation.random_dag import generate_pdg
+from repro.schedulers import AdaptiveScheduler, DEFAULT_SELECTION_TABLE
+
+from conftest import task_graphs
+
+
+class TestDispatch:
+    def test_low_granularity_goes_to_clans(self):
+        rng = np.random.default_rng(1)
+        g = generate_pdg(rng, n_tasks=30, band=0, anchor=2, weight_range=(20, 100))
+        sched = AdaptiveScheduler()
+        sched.schedule(g)
+        assert sched.last_band == 0
+        assert sched.last_choice == "CLANS"
+
+    def test_high_granularity_races_critical_path_methods(self):
+        rng = np.random.default_rng(2)
+        g = generate_pdg(rng, n_tasks=30, band=4, anchor=3, weight_range=(20, 100))
+        sched = AdaptiveScheduler()
+        sched.schedule(g)
+        assert sched.last_band == 4
+        assert sched.last_choice in DEFAULT_SELECTION_TABLE[4]
+
+    def test_edgeless_graph_treated_as_coarse(self):
+        g = TaskGraph()
+        for i in range(3):
+            g.add_task(i, 10)
+        sched = AdaptiveScheduler()
+        s = sched.schedule(g)
+        s.validate(g)
+        assert sched.last_band == 4
+
+    def test_custom_table(self, paper_example):
+        sched = AdaptiveScheduler({b: ("SERIAL",) for b in range(5)})
+        s = sched.schedule(paper_example)
+        assert sched.last_choice == "SERIAL"
+        assert s.n_processors == 1
+
+
+class TestQuality:
+    def test_never_retards(self):
+        """At low granularity the dispatch goes to CLANS, whose guarantee
+        carries over."""
+        rng = np.random.default_rng(3)
+        sched = AdaptiveScheduler()
+        for band in (0, 1):
+            for _ in range(3):
+                g = generate_pdg(
+                    rng, n_tasks=30, band=band, anchor=2, weight_range=(20, 200)
+                )
+                s = sched.schedule(g)
+                assert s.makespan <= g.serial_time() + 1e-9
+
+    def test_at_least_as_good_as_candidates(self):
+        rng = np.random.default_rng(4)
+        sched = AdaptiveScheduler()
+        for band in range(5):
+            g = generate_pdg(
+                rng, n_tasks=30, band=band, anchor=3, weight_range=(20, 100)
+            )
+            s = sched.schedule(g)
+            for name in DEFAULT_SELECTION_TABLE[band]:
+                assert s.makespan <= get_scheduler(name).schedule(g).makespan + 1e-9
+
+    def test_tracks_per_band_best_closely(self):
+        """Across all bands, ADAPT stays within a few percent of the best
+        of the five paper heuristics."""
+        from repro import paper_schedulers
+
+        rng = np.random.default_rng(5)
+        sched = AdaptiveScheduler()
+        for band in range(5):
+            g = generate_pdg(
+                rng, n_tasks=35, band=band, anchor=2, weight_range=(20, 200)
+            )
+            best = min(s.schedule(g).makespan for s in paper_schedulers())
+            assert sched.schedule(g).makespan <= best * 1.10 + 1e-9
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid(self, g):
+        s = AdaptiveScheduler().schedule(g)
+        s.validate(g)

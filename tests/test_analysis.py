@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.analysis (levels, ALAP, critical path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError, TaskGraph
+from repro.core.analysis import (
+    alap_times,
+    asap_times,
+    b_levels,
+    critical_path,
+    critical_path_length,
+    dominant_path_length,
+    hu_levels,
+    t_levels,
+    validate_levels,
+)
+
+
+class TestTLevels:
+    def test_chain_with_comm(self, chain5):
+        tl = t_levels(chain5, communication=True)
+        # each hop adds node weight 10 + edge 3
+        assert tl == {0: 0.0, 1: 13.0, 2: 26.0, 3: 39.0, 4: 52.0}
+
+    def test_chain_without_comm(self, chain5):
+        tl = t_levels(chain5, communication=False)
+        assert tl == {0: 0.0, 1: 10.0, 2: 20.0, 3: 30.0, 4: 40.0}
+
+    def test_diamond_max_path(self, diamond):
+        tl = t_levels(diamond)
+        assert tl["a"] == 0.0
+        assert tl["b"] == tl["c"] == 14.0
+        assert tl["d"] == 28.0
+
+    def test_source_is_zero(self, paper_example):
+        assert t_levels(paper_example)[1] == 0.0
+
+
+class TestBLevels:
+    def test_chain(self, chain5):
+        bl = b_levels(chain5, communication=True)
+        assert bl[4] == 10.0
+        assert bl[0] == 5 * 10 + 4 * 3
+
+    def test_sink_is_own_weight(self, paper_example):
+        assert b_levels(paper_example)[5] == 50.0
+
+    def test_paper_example_comm_levels(self, paper_example):
+        bl = b_levels(paper_example, communication=True)
+        assert bl[5] == 50.0
+        assert bl[4] == 40 + 4 + 50
+        assert bl[2] == 20 + 4 + 50
+        assert bl[3] == 30 + 3 + 94
+        assert bl[1] == pytest.approx(10 + 6 + 127)
+
+    def test_hu_levels_ignore_comm(self, paper_example):
+        hl = hu_levels(paper_example)
+        assert hl[5] == 50.0
+        assert hl[4] == 90.0
+        assert hl[3] == 120.0
+        assert hl[1] == 130.0
+
+    def test_recurrences_hold(self, paper_example, diamond, chain5):
+        for g in (paper_example, diamond, chain5):
+            validate_levels(g, t_levels(g), b_levels(g))
+
+
+class TestCriticalPath:
+    def test_length_chain(self, chain5):
+        assert critical_path_length(chain5) == 62.0
+        assert critical_path_length(chain5, communication=False) == 50.0
+
+    def test_dominant_alias(self, chain5):
+        assert dominant_path_length(chain5) == critical_path_length(chain5)
+
+    def test_path_is_a_real_path(self, paper_example):
+        path = critical_path(paper_example)
+        for u, v in zip(path, path[1:]):
+            assert paper_example.has_edge(u, v)
+        assert path[0] in paper_example.sources()
+        assert path[-1] in paper_example.sinks()
+
+    def test_path_weight_matches_length(self, paper_example):
+        path = critical_path(paper_example)
+        total = sum(paper_example.weight(t) for t in path)
+        total += sum(
+            paper_example.edge_weight(u, v) for u, v in zip(path, path[1:])
+        )
+        assert total == critical_path_length(paper_example)
+
+    def test_empty_graph(self):
+        assert critical_path(TaskGraph()) == []
+        assert critical_path_length(TaskGraph()) == 0.0
+
+    def test_single_node(self, single):
+        assert critical_path(single) == ["only"]
+        assert critical_path_length(single) == 7.0
+
+
+class TestAlap:
+    def test_critical_tasks_have_zero_slack(self, chain5):
+        alap = alap_times(chain5)
+        asap = asap_times(chain5)
+        # a chain is all-critical
+        assert alap == asap
+
+    def test_deadline_shifts_uniformly(self, chain5):
+        base = alap_times(chain5)
+        later = alap_times(chain5, deadline=100.0)
+        cp = critical_path_length(chain5)
+        for t in chain5.tasks():
+            assert later[t] == pytest.approx(base[t] + 100.0 - cp)
+
+    def test_deadline_below_cp_rejected(self, chain5):
+        with pytest.raises(GraphError):
+            alap_times(chain5, deadline=1.0)
+
+    def test_alap_at_least_asap(self, paper_example, diamond):
+        for g in (paper_example, diamond):
+            alap = alap_times(g)
+            asap = asap_times(g)
+            for t in g.tasks():
+                assert alap[t] >= asap[t] - 1e-9
+
+    def test_alap_respects_edges(self, paper_example):
+        """ALAP start of a predecessor leaves room for weight + comm."""
+        alap = alap_times(paper_example)
+        for u, v in paper_example.edges():
+            assert (
+                alap[u] + paper_example.weight(u) + paper_example.edge_weight(u, v)
+                <= alap[v] + 1e-9
+            )

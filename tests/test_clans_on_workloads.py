@@ -1,0 +1,130 @@
+"""Clan decomposition pinned against known workload structures.
+
+Each structured workload has a parse tree we can derive by hand; these
+tests pin the decomposition's output on them, complementing the random
+property tests with exact structural expectations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TaskGraph
+from repro.clans import ClanKind, decompose, tree_statistics, verify_parse_tree
+from repro.generation import workloads as w
+
+
+class TestChain:
+    def test_pure_linear(self):
+        g = w.chain(6)
+        tree = decompose(g)
+        assert tree.kind is ClanKind.LINEAR
+        assert len(tree.children) == 6
+        assert all(c.is_leaf for c in tree.children)
+
+
+class TestForkJoin:
+    def test_single_stage(self):
+        g = w.fork_join(4, stages=1)
+        tree = decompose(g)
+        # source, independent middle, join => LINEAR root with 3 children
+        assert tree.kind is ClanKind.LINEAR
+        assert len(tree.children) == 3
+        mid = tree.children[1]
+        assert mid.kind is ClanKind.INDEPENDENT
+        assert len(mid.children) == 4
+        assert all(c.is_leaf for c in mid.children)
+
+    def test_multi_stage_alternates(self):
+        g = w.fork_join(3, stages=2)
+        tree = decompose(g)
+        assert tree.kind is ClanKind.LINEAR
+        kinds = [c.kind for c in tree.children]
+        # src, IND, join, IND, join
+        assert kinds.count(ClanKind.INDEPENDENT) == 2
+        verify_parse_tree(g, tree)
+
+
+class TestDisjointUnion:
+    def test_independent_root(self):
+        g = TaskGraph()
+        for i in range(6):
+            g.add_task(i, 1)
+        g.add_edge(0, 1, 1)
+        g.add_edge(2, 3, 1)
+        tree = decompose(g)
+        assert tree.kind is ClanKind.INDEPENDENT
+        sizes = sorted(c.size for c in tree.children)
+        assert sizes == [1, 1, 2, 2]
+
+
+class TestTrees:
+    def test_out_tree_recursive_structure(self):
+        g = w.out_tree(2, branching=2)
+        tree = decompose(g)
+        # root task then the two subtrees concurrently
+        assert tree.kind is ClanKind.LINEAR
+        assert tree.children[0].is_leaf
+        rest = tree.children[1]
+        assert rest.kind is ClanKind.INDEPENDENT
+        assert len(rest.children) == 2
+        for sub in rest.children:
+            assert sub.kind is ClanKind.LINEAR
+            assert sub.size == 3
+
+    def test_in_tree_mirrors(self):
+        g = w.in_tree(2, branching=2)
+        tree = decompose(g)
+        assert tree.kind is ClanKind.LINEAR
+        assert tree.children[-1].is_leaf  # the root task executes last
+
+
+class TestFFT:
+    def test_butterfly_is_primitive(self):
+        """The 4-point FFT butterfly has crossing dependences that admit no
+        linear/independent split above the leaves."""
+        g = w.fft_graph(2)
+        tree = decompose(g)
+        stats = tree_statistics(tree)
+        assert stats.n_primitive >= 1
+        verify_parse_tree(g, tree)
+
+
+class TestDivideAndConquer:
+    def test_deep_alternation(self):
+        g = w.divide_and_conquer(2)
+        tree = decompose(g)
+        assert tree.kind is ClanKind.LINEAR
+        stats = tree_statistics(tree)
+        assert stats.n_primitive == 0  # D&C is series-parallel
+        assert stats.n_independent >= 2
+        assert stats.depth >= 4
+        verify_parse_tree(g, tree)
+
+
+class TestWavefront:
+    def test_wavefront_is_primitive_heavy(self):
+        g = w.wavefront(3, 3)
+        stats = tree_statistics(decompose(g))
+        assert stats.n_primitive >= 1
+
+    def test_chain_row_degenerates_to_linear(self):
+        g = w.wavefront(1, 5)  # single row: a chain
+        tree = decompose(g)
+        assert tree.kind is ClanKind.LINEAR
+        assert all(c.is_leaf for c in tree.children)
+
+
+class TestGauss:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_verifies_at_all_sizes(self, n):
+        g = w.gaussian_elimination(n)
+        verify_parse_tree(g, decompose(g))
+
+
+class TestCholesky:
+    def test_verifies(self):
+        g = w.cholesky(4)
+        verify_parse_tree(g, decompose(g))
+        stats = tree_statistics(decompose(g))
+        assert stats.n_leaves == g.n_tasks

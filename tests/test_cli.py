@@ -1,0 +1,171 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import TaskGraph
+from repro.cli import main
+
+
+@pytest.fixture
+def graph_file(tmp_path, paper_example):
+    path = tmp_path / "g.json"
+    path.write_text(json.dumps(paper_example.to_dict()))
+    return str(path)
+
+
+class TestSchedule:
+    def test_default_heuristic(self, graph_file, capsys):
+        assert main(["schedule", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "CLANS" in out
+        assert "parallel time  : 130" in out
+
+    def test_named_heuristic_with_gantt(self, graph_file, capsys):
+        assert main(["schedule", graph_file, "--heuristic", "HU", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "HU" in out
+        assert "P0" in out
+
+    def test_unknown_heuristic_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", graph_file, "--heuristic", "NOPE"])
+
+
+class TestClassify:
+    def test_metrics_printed(self, graph_file, capsys):
+        assert main(["classify", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "granularity" in out
+        assert "anchor out-degree" in out
+        assert "serial time       : 150" in out
+
+
+class TestGenerate:
+    def test_generates_classified_graph(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.json"
+        rc = main(
+            ["generate", "--band", "2", "--anchor", "3", "-n", "25",
+             "-o", str(out_file)]
+        )
+        assert rc == 0
+        g = TaskGraph.from_dict(json.loads(out_file.read_text()))
+        assert g.n_tasks == 25
+
+
+class TestWorkload:
+    @pytest.mark.parametrize("kind", ["chain", "fork_join", "fft", "gauss", "dnc", "stencil"])
+    def test_each_kind(self, kind, tmp_path):
+        out_file = tmp_path / f"{kind}.json"
+        assert main(["workload", kind, "--param", "3", "-o", str(out_file)]) == 0
+        g = TaskGraph.from_dict(json.loads(out_file.read_text()))
+        assert g.n_tasks >= 3
+
+
+class TestExperiment:
+    def test_small_experiment_prints_tables(self, capsys):
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "12",
+             "--nmax", "16", "--tables", "2,4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 4" in out
+        assert "Table 3" not in out
+
+    def test_figures_printed(self, capsys):
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "12",
+             "--nmax", "16", "--tables", "3", "--figures", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_bad_table_id(self):
+        with pytest.raises(SystemExit, match="unknown ids"):
+            main(
+                ["experiment", "--graphs-per-cell", "1", "--nmin", "12",
+                 "--nmax", "14", "--tables", "99"]
+            )
+
+
+class TestReport:
+    def test_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(
+            ["report", "--graphs-per-cell", "1", "--nmin", "10",
+             "--nmax", "13", "-o", str(out)]
+        )
+        assert rc == 0
+        text = out.read_text()
+        assert "## Table 2" in text
+        assert "## Figure 6" in text
+
+    def test_prints_to_stdout(self, capsys):
+        rc = main(["report", "--graphs-per-cell", "1", "--nmin", "10", "--nmax", "12"])
+        assert rc == 0
+        assert "## Table 1" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_svg(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "gantt.svg"
+        rc = main(["export", graph_file, "--format", "svg", "-o", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_trace(self, graph_file, tmp_path):
+        import json as _json
+
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["export", graph_file, "--heuristic", "MH", "--format", "trace",
+             "-o", str(out)]
+        )
+        assert rc == 0
+        data = _json.loads(out.read_text())
+        assert len(data["traceEvents"]) == 5
+
+
+class TestSaveLoad:
+    def test_round_trip_tables_match(self, tmp_path, capsys):
+        saved = tmp_path / "run.json"
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "10",
+             "--nmax", "13", "--tables", "4", "--save", str(saved)]
+        )
+        assert rc == 0
+        first = capsys.readouterr().out
+        rc = main(["experiment", "--load", str(saved), "--tables", "4"])
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert first.strip() == second.strip()
+
+
+class TestNewWorkloadKinds:
+    @pytest.mark.parametrize("kind", ["cholesky", "wavefront"])
+    def test_kinds(self, kind, tmp_path):
+        out = tmp_path / f"{kind}.json"
+        assert main(["workload", kind, "--param", "4", "-o", str(out)]) == 0
+
+
+class TestImproveFlag:
+    def test_improve_never_worse(self, graph_file, capsys):
+        assert main(["schedule", graph_file, "--heuristic", "HU"]) == 0
+        base = capsys.readouterr().out
+        assert main(["schedule", graph_file, "--heuristic", "HU", "--improve"]) == 0
+        improved = capsys.readouterr().out
+
+        def makespan(text):
+            for line in text.splitlines():
+                if line.startswith("parallel time"):
+                    return float(line.split(":")[1])
+            raise AssertionError(text)
+
+        assert makespan(improved) <= makespan(base) + 1e-9
+        assert "HU+ls" in improved

@@ -1,0 +1,151 @@
+"""Tests for CPOP and the contention-aware list scheduler."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+
+from repro import GraphError, TaskGraph
+from repro.hetero import (
+    CPOPScheduler,
+    HEFTScheduler,
+    HeterogeneousMachine,
+    validate_on_machine,
+)
+from repro.hetero.cpop import downward_ranks
+from repro.topology import PortAwareScheduler, simulate_one_port
+
+from conftest import task_graphs
+
+
+class TestDownwardRanks:
+    def test_sources_zero(self, paper_example):
+        m = HeterogeneousMachine.homogeneous(2)
+        down = downward_ranks(paper_example, m)
+        assert down[1] == 0.0
+
+    def test_matches_tlevel_on_homogeneous(self, paper_example):
+        from repro.core.analysis import t_levels
+
+        m = HeterogeneousMachine.homogeneous(4)
+        down = downward_ranks(paper_example, m)
+        tl = t_levels(paper_example, communication=True)
+        for t in paper_example.tasks():
+            assert down[t] == pytest.approx(tl[t])
+
+
+class TestCPOP:
+    def test_valid_on_zoo(self, paper_example, diamond, chain5, wide_fork):
+        for m in (HeterogeneousMachine.homogeneous(3), HeterogeneousMachine([1, 2])):
+            for g in (paper_example, diamond, chain5, wide_fork):
+                s = CPOPScheduler(m).schedule(g)
+                validate_on_machine(s, g, m)
+
+    def test_critical_path_pinned_to_one_processor(self, chain5):
+        """A chain *is* the critical path: all of it lands on the CP
+        processor — the fastest one."""
+        m = HeterogeneousMachine([1, 3, 2])
+        s = CPOPScheduler(m).schedule(chain5)
+        procs = {s.processor_of(t) for t in chain5.tasks()}
+        assert procs == {1}  # the speed-3 processor
+
+    def test_competitive_with_heft_on_pinning_friendly_graphs(self):
+        """One long chain plus light side work: pinning the chain to the
+        fast processor is exactly right."""
+        g = TaskGraph()
+        prev = None
+        for i in range(6):
+            g.add_task(("c", i), 30)
+            if prev is not None:
+                g.add_edge(prev, ("c", i), 2)
+            prev = ("c", i)
+        for i in range(4):
+            g.add_task(("side", i), 5)
+            g.add_edge(("c", 0), ("side", i), 2)
+        m = HeterogeneousMachine([0.5, 0.5, 2])
+        cpop = CPOPScheduler(m).schedule(g)
+        heft = HEFTScheduler(m).schedule(g)
+        validate_on_machine(cpop, g, m)
+        assert cpop.makespan <= heft.makespan * 1.1 + 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            CPOPScheduler(HeterogeneousMachine([1])).schedule(TaskGraph())
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid(self, g):
+        m = HeterogeneousMachine([1, 2, 0.5])
+        s = CPOPScheduler(m).schedule(g)
+        validate_on_machine(s, g, m)
+
+
+class TestPortAware:
+    def test_valid_under_free_model_too(self, paper_example, diamond, wide_fork):
+        """One-port feasibility implies free-model feasibility."""
+        for g in (paper_example, diamond, wide_fork):
+            s = PortAwareScheduler().schedule(g)
+            s.validate(g)
+
+    def test_transfer_log_is_port_feasible(self, wide_fork):
+        sched = PortAwareScheduler()
+        s = sched.schedule(wide_fork)
+        proc_of = {p.task: p.processor for p in s}
+        send_windows = defaultdict(list)
+        recv_windows = defaultdict(list)
+        for src, dst, start, finish in sched.last_transfers:
+            assert start >= s.finish(src) - 1e-9
+            assert finish <= s.start(dst) + 1e-9
+            send_windows[proc_of[src]].append((start, finish))
+            recv_windows[proc_of[dst]].append((start, finish))
+        for windows in [*send_windows.values(), *recv_windows.values()]:
+            windows.sort()
+            for (s1, f1), (s2, f2) in zip(windows, windows[1:]):
+                assert s2 >= f1 - 1e-9  # no overlap on any port
+
+    def test_beats_blind_mh_under_contention(self):
+        """On a wide fan-out with significant messages, planning around the
+        ports must beat re-timing a contention-blind schedule."""
+        g = TaskGraph()
+        g.add_task("src", 5)
+        for i in range(8):
+            g.add_task(i, 20)
+            g.add_edge("src", i, 10)
+        from repro import MHScheduler
+
+        blind = MHScheduler().schedule(g)
+        blind_retimed = simulate_one_port(
+            g, {p.task: p.processor for p in blind}
+        )
+        aware = PortAwareScheduler().schedule(g)
+        assert aware.makespan <= blind_retimed.makespan + 1e-9
+
+    def test_max_processors(self, wide_fork):
+        s = PortAwareScheduler(max_processors=2).schedule(wide_fork)
+        assert s.n_processors <= 2
+
+    def test_bad_max(self):
+        with pytest.raises(GraphError):
+            PortAwareScheduler(max_processors=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            PortAwareScheduler().schedule(TaskGraph())
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_and_port_feasible(self, g):
+        sched = PortAwareScheduler()
+        s = sched.schedule(g)
+        s.validate(g)
+        proc_of = {p.task: p.processor for p in s}
+        per_port = defaultdict(list)
+        for src, dst, start, finish in sched.last_transfers:
+            per_port[("s", proc_of[src])].append((start, finish))
+            per_port[("r", proc_of[dst])].append((start, finish))
+        for windows in per_port.values():
+            windows.sort()
+            for (s1, f1), (s2, f2) in zip(windows, windows[1:]):
+                assert s2 >= f1 - 1e-9

@@ -1,0 +1,123 @@
+"""Cross-model property tests: relations between the four execution models.
+
+The library times schedules under four related models — free-overlap
+uniform (the paper's), topology hop-scaled, one-port contention, and
+heterogeneous speeds.  These properties pin how they must relate:
+
+* a fully connected topology reproduces the uniform model exactly;
+* one-port timing dominates (is never faster than) free-overlap timing;
+* homogeneous unit speeds reproduce the uniform durations;
+* bounding can only lengthen the best unbounded schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import get_scheduler
+from repro.core.simulator import simulate_clustering
+from repro.hetero import HEFTScheduler, HeterogeneousMachine, validate_on_machine
+from repro.schedulers import BoundedScheduler
+from repro.topology import (
+    FullyConnected,
+    Ring,
+    simulate_on_topology,
+    simulate_one_port,
+    validate_on_topology,
+)
+
+from conftest import task_graphs
+
+
+def _assignment(g, data, n_procs):
+    return {
+        t: data.draw(st.integers(0, n_procs - 1), label=f"proc[{t}]")
+        for t in g.tasks()
+    }
+
+
+class TestTopologyVsUniform:
+    @given(g=task_graphs(min_tasks=1, max_tasks=10), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_clique_equals_uniform(self, g, data):
+        assignment = _assignment(g, data, 3)
+        uniform = simulate_clustering(g, assignment)
+        clique = simulate_on_topology(g, assignment, FullyConnected(3))
+        assert clique.makespan == pytest.approx(uniform.makespan)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_ring_never_faster_than_clique(self, g, data):
+        assignment = _assignment(g, data, 4)
+        clique = simulate_on_topology(g, assignment, FullyConnected(4))
+        ring = simulate_on_topology(g, assignment, Ring(4))
+        validate_on_topology(ring, g, Ring(4))
+        assert ring.makespan >= clique.makespan - 1e-9
+
+
+class TestOnePortVsFree:
+    @given(g=task_graphs(min_tasks=1, max_tasks=10), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_contention_dominates(self, g, data):
+        assignment = _assignment(g, data, 3)
+        free = simulate_clustering(g, assignment)
+        port = simulate_one_port(g, assignment)
+        assert port.makespan >= free.makespan - 1e-9
+        # and the one-port schedule remains valid under the free model
+        port.schedule.validate(g)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=25, deadline=None)
+    def test_single_processor_immune_to_ports(self, g):
+        assignment = {t: 0 for t in g.tasks()}
+        free = simulate_clustering(g, assignment)
+        port = simulate_one_port(g, assignment)
+        assert port.makespan == pytest.approx(free.makespan)
+        assert port.transfers == ()
+
+
+class TestHeteroVsUniform:
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_speeds_have_uniform_durations(self, g):
+        m = HeterogeneousMachine.homogeneous(3)
+        s = HEFTScheduler(m).schedule(g)
+        validate_on_machine(s, g, m)
+        s.validate(g)  # unit speeds: also valid under the paper's model
+
+    @given(
+        g=task_graphs(min_tasks=1, max_tasks=9),
+        factor=st.sampled_from([2.0, 4.0]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_uniformly_faster_machine_scales_makespan(self, g, factor):
+        slow = HEFTScheduler(HeterogeneousMachine.homogeneous(3)).schedule(g)
+        fast = HEFTScheduler(
+            HeterogeneousMachine.homogeneous(3, speed=factor)
+        ).schedule(g)
+        # computation shrinks by `factor` but messages do not, so the fast
+        # machine is at least (total/factor + nothing) and at most the slow
+        assert fast.makespan <= slow.makespan + 1e-9
+        comm_free = all(
+            g.edge_weight(u, v) == 0 for u, v in g.edges()
+        )
+        if comm_free:
+            assert fast.makespan == pytest.approx(slow.makespan / factor)
+
+
+class TestBoundedVsUnbounded:
+    @given(g=task_graphs(min_tasks=1, max_tasks=10), p=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_bounding_never_beats_unbounded(self, g, p):
+        unbounded = get_scheduler("MCP").schedule(g)
+        bounded = BoundedScheduler("MCP", p).schedule(g)
+        if unbounded.n_processors <= p:
+            # no folding needed: the unbounded schedule is returned verbatim
+            assert bounded.makespan == pytest.approx(unbounded.makespan)
+        else:
+            assert bounded.n_processors <= p
+        # note: a folded schedule CAN occasionally beat the unbounded one
+        # (the fold re-orders clusters by b-level), so no ordering between
+        # the two makespans is asserted in the folding case.

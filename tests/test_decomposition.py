@@ -1,0 +1,210 @@
+"""Unit and property tests for clan (modular) decomposition."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import DecompositionError, TaskGraph
+from repro.clans import ClanKind, decompose, is_clan
+from repro.clans.parse_tree import ClanNode
+
+from conftest import task_graphs
+
+
+def build(n, edges):
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(i, 1)
+    for u, v in edges:
+        g.add_edge(u, v, 1)
+    return g
+
+
+class TestBaseCases:
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            decompose(TaskGraph())
+
+    def test_single_is_leaf(self, single):
+        tree = decompose(single)
+        assert tree.is_leaf
+        assert tree.task == "only"
+        assert tree.members == frozenset(["only"])
+
+    def test_two_comparable_linear(self):
+        tree = decompose(build(2, [(0, 1)]))
+        assert tree.kind is ClanKind.LINEAR
+        assert [c.task for c in tree.children] == [0, 1]
+
+    def test_two_incomparable_independent(self):
+        tree = decompose(build(2, []))
+        assert tree.kind is ClanKind.INDEPENDENT
+        assert len(tree.children) == 2
+
+
+class TestPaperExample:
+    def test_structure(self, paper_example):
+        """Appendix A.5: C1={3,4} linear, C2={2,{3,4}} independent,
+        C3={1, C2, 5} linear."""
+        tree = decompose(paper_example)
+        assert tree.kind is ClanKind.LINEAR
+        assert [c.members for c in tree.children] == [
+            frozenset([1]),
+            frozenset([2, 3, 4]),
+            frozenset([5]),
+        ]
+        c2 = tree.children[1]
+        assert c2.kind is ClanKind.INDEPENDENT
+        sub = {c.members for c in c2.children}
+        assert frozenset([2]) in sub
+        assert frozenset([3, 4]) in sub
+        c1 = next(c for c in c2.children if c.members == frozenset([3, 4]))
+        assert c1.kind is ClanKind.LINEAR
+
+    def test_every_internal_node_is_a_clan(self, paper_example):
+        tree = decompose(paper_example)
+        for node in tree.walk():
+            assert is_clan(paper_example, node.members)
+
+
+class TestPrimitive:
+    def test_n_poset_is_primitive(self):
+        # a->c, b->c, b->d : the "N", the smallest primitive poset
+        g = build(4, [(0, 2), (1, 2), (1, 3)])
+        tree = decompose(g)
+        assert tree.kind is ClanKind.PRIMITIVE
+        assert all(c.is_leaf for c in tree.children)
+        assert len(tree.children) == 4
+
+    def test_primitive_with_composite_child(self):
+        # replace node 0 of the N with a 2-chain module {0, 4}
+        g = build(5, [(0, 4), (4, 2), (1, 2), (1, 3)])
+        tree = decompose(g)
+        assert tree.kind is ClanKind.PRIMITIVE
+        sizes = sorted(c.size for c in tree.children)
+        assert sizes == [1, 1, 1, 2]
+        big = next(c for c in tree.children if c.size == 2)
+        assert big.members == frozenset([0, 4])
+        assert big.kind is ClanKind.LINEAR
+
+    def test_primitive_children_in_topological_order(self):
+        g = build(4, [(0, 2), (1, 2), (1, 3)])
+        tree = decompose(g)
+        # no child may have an edge into an *earlier* sibling
+        seen: set[int] = set()
+        for child in tree.children:
+            for u, v in g.edges():
+                if u in child.members and v in seen:
+                    pytest.fail("edge points into an earlier sibling")
+            seen |= child.members
+
+
+class TestStructureInvariants:
+    def test_linear_children_ordered(self, chain5):
+        tree = decompose(chain5)
+        assert tree.kind is ClanKind.LINEAR
+        assert [c.task for c in tree.children] == [0, 1, 2, 3, 4]
+
+    def test_no_linear_linear_nesting(self, paper_example, chain5, diamond):
+        for g in (paper_example, chain5, diamond):
+            tree = decompose(g)
+            for node in tree.walk():
+                for child in node.children:
+                    if node.kind is not ClanKind.PRIMITIVE:
+                        assert child.kind is not node.kind
+
+    def test_members_partition(self, paper_example):
+        tree = decompose(paper_example)
+        for node in tree.walk():
+            if node.is_leaf:
+                continue
+            union = frozenset().union(*(c.members for c in node.children))
+            assert union == node.members
+            total = sum(c.size for c in node.children)
+            assert total == node.size
+
+    def test_deterministic(self, paper_example):
+        t1 = decompose(paper_example)
+        t2 = decompose(paper_example)
+        assert t1.to_text() == t2.to_text()
+
+
+class TestIsClan:
+    def test_whole_graph_and_singletons(self, paper_example):
+        assert is_clan(paper_example, set(paper_example.tasks()))
+        for t in paper_example.tasks():
+            assert is_clan(paper_example, {t})
+
+    def test_non_clan(self, paper_example):
+        # {1, 2}: node 5 is a descendant of 2 but also of 1 ... check a real
+        # violation: {2, 3} — node 4 is a descendant of 3 but not of 2.
+        assert not is_clan(paper_example, {2, 3})
+
+    def test_bad_candidate(self, paper_example):
+        with pytest.raises(DecompositionError):
+            is_clan(paper_example, set())
+        with pytest.raises(DecompositionError):
+            is_clan(paper_example, {999})
+
+
+class TestClanNodeHelpers:
+    def test_leaves_and_walk(self, paper_example):
+        tree = decompose(paper_example)
+        leaves = list(tree.leaves())
+        assert sorted(l.task for l in leaves) == [1, 2, 3, 4, 5]
+        assert len(list(tree.walk())) >= len(leaves)
+
+    def test_depth_and_count(self, paper_example):
+        tree = decompose(paper_example)
+        assert tree.depth() == 3
+        assert tree.count(ClanKind.LEAF) == 5
+        assert tree.count(ClanKind.LINEAR) == 2
+        assert tree.count(ClanKind.INDEPENDENT) == 1
+
+    def test_to_text_and_repr(self, paper_example):
+        tree = decompose(paper_example)
+        txt = tree.to_text()
+        assert "LINEAR" in txt and "INDEPENDENT" in txt and "leaf" in txt
+        assert "linear" in repr(tree)
+        leaf = next(iter(tree.leaves()))
+        assert "leaf" in repr(leaf)
+
+
+class TestDecompositionProperties:
+    @given(task_graphs(min_tasks=1, max_tasks=14))
+    @settings(max_examples=120, deadline=None)
+    def test_tree_is_valid_modular_decomposition(self, g):
+        tree = decompose(g)
+        # leaves == tasks
+        assert sorted(map(repr, (l.task for l in tree.leaves()))) == sorted(
+            map(repr, g.tasks())
+        )
+        for node in tree.walk():
+            # every node of the parse tree is a clan of the graph
+            assert is_clan(g, node.members)
+            if node.is_leaf:
+                assert node.size == 1
+                continue
+            assert len(node.children) >= 2
+            union = set()
+            for c in node.children:
+                assert not (union & c.members)
+                union |= c.members
+            assert union == node.members
+            if node.kind is ClanKind.PRIMITIVE:
+                assert len(node.children) >= 3
+
+    @given(task_graphs(min_tasks=2, max_tasks=12))
+    @settings(max_examples=80, deadline=None)
+    def test_maximality_of_children(self, g):
+        """Children of the root are *maximal* proper clans: merging two
+        children of a primitive root never yields a clan."""
+        tree = decompose(g)
+        if tree.kind is not ClanKind.PRIMITIVE:
+            return
+        kids = tree.children
+        for i in range(len(kids)):
+            for j in range(i + 1, min(i + 3, len(kids))):
+                merged = kids[i].members | kids[j].members
+                assert not is_clan(g, merged)

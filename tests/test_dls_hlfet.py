@@ -1,0 +1,67 @@
+"""Tests for the DLS and HLFET extension schedulers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import TaskGraph
+from repro.schedulers import get_scheduler
+
+from conftest import task_graphs
+
+
+class TestDLS:
+    def test_valid_on_zoo(self, paper_example, diamond, chain5, wide_fork):
+        sched = get_scheduler("DLS")
+        for g in (paper_example, diamond, chain5, wide_fork):
+            sched.schedule(g).validate(g)
+
+    def test_keeps_heavy_comm_local(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        g.add_edge("a", "b", 500)
+        s = get_scheduler("DLS").schedule(g)
+        assert s.processor_of("a") == s.processor_of("b")
+
+    def test_prefers_critical_task(self):
+        """DLS weighs static level against start time: between two ready
+        tasks with equal start options, the higher-level one goes first."""
+        g = TaskGraph()
+        g.add_task("crit", 10)
+        g.add_task("critchild", 50)
+        g.add_task("minor", 10)
+        g.add_edge("crit", "critchild", 1)
+        s = get_scheduler("DLS").schedule(g)
+        assert s.start("crit") == 0.0
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, g):
+        get_scheduler("DLS").schedule(g).validate(g)
+
+
+class TestHLFET:
+    def test_valid_on_zoo(self, paper_example, diamond, chain5, wide_fork):
+        sched = get_scheduler("HLFET")
+        for g in (paper_example, diamond, chain5, wide_fork):
+            sched.schedule(g).validate(g)
+
+    def test_sits_between_hu_and_mh(self, paper_example, chain5, two_sources_join):
+        """HLFET = HU's priority + MH's placement.  With MH's placement
+        rule it must avoid HU's pathologies: never pay communication that
+        staying local would avoid."""
+        for g in (paper_example, chain5, two_sources_join):
+            hlfet = get_scheduler("HLFET").schedule(g)
+            hu = get_scheduler("HU").schedule(g)
+            assert hlfet.makespan <= hu.makespan + 1e-9
+
+    def test_chain_single_processor(self, chain5):
+        s = get_scheduler("HLFET").schedule(chain5)
+        assert s.n_processors == 1
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, g):
+        get_scheduler("HLFET").schedule(g).validate(g)

@@ -1,0 +1,110 @@
+"""Tests for DSC (appendix A.1, Figures 7–8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DSCScheduler, TaskGraph
+
+
+class TestClusteringBehaviour:
+    def test_chain_stays_on_one_cluster(self, chain5):
+        """Every zeroing along a chain reduces the start time: one cluster."""
+        s = DSCScheduler().schedule(chain5)
+        assert s.n_processors == 1
+        assert s.makespan == chain5.serial_time()
+
+    def test_zeroing_accepted_when_it_helps(self):
+        """a->b with heavy comm: b must merge into a's cluster."""
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        g.add_edge("a", "b", 100)
+        s = DSCScheduler().schedule(g)
+        assert s.processor_of("a") == s.processor_of("b")
+        assert s.makespan == 20.0
+
+    def test_fork_with_light_comm_splits(self):
+        """Cheap messages, big tasks: the fork's branches go parallel."""
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 100)
+        g.add_task("c", 100)
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "c", 1)
+        s = DSCScheduler().schedule(g)
+        assert s.processor_of("b") != s.processor_of("c")
+        assert s.makespan == pytest.approx(111.0)
+
+    def test_fork_with_heavy_comm_serializes(self):
+        """Messages dominate: both branches pile onto a's cluster."""
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        g.add_task("c", 10)
+        g.add_edge("a", "b", 500)
+        g.add_edge("a", "c", 500)
+        s = DSCScheduler().schedule(g)
+        assert s.n_processors == 1
+        assert s.makespan == 30.0
+
+    def test_independent_sources_never_merge(self, two_sources_join):
+        """DSC only zeroes edges — unrelated sources stay apart, so the
+        join pays cross-cluster communication (the low-G failure mode)."""
+        s = DSCScheduler().schedule(two_sources_join)
+        assert s.processor_of("s1") != s.processor_of("s2")
+        assert s.makespan > two_sources_join.serial_time()  # retardation
+
+    def test_join_merges_into_latest_arriving_cluster(self):
+        g = TaskGraph()
+        g.add_task("a", 50)
+        g.add_task("b", 10)
+        g.add_task("j", 10)
+        g.add_edge("a", "j", 20)
+        g.add_edge("b", "j", 20)
+        s = DSCScheduler().schedule(g)
+        # joining a's cluster: start max(50, 10+20) = 50; b's: max(10, 70) = 70
+        assert s.processor_of("j") == s.processor_of("a")
+        assert s.start("j") == 50.0
+
+
+class TestPaperExample:
+    def test_valid_and_competitive(self, paper_example):
+        s = DSCScheduler().schedule(paper_example)
+        s.validate(paper_example)
+        assert s.makespan <= 143.0  # at least as good as fully parallel
+
+    def test_dominant_sequence_first(self, paper_example):
+        """Node 1 (source, on the dominant sequence) is scheduled at 0."""
+        s = DSCScheduler().schedule(paper_example)
+        assert s.start(1) == 0.0
+
+
+class TestCT2Ablation:
+    def test_ct2_flag_exists_and_schedules(self, paper_example, wide_fork):
+        for g in (paper_example, wide_fork):
+            a = DSCScheduler(use_ct2=True).schedule(g)
+            b = DSCScheduler(use_ct2=False).schedule(g)
+            a.validate(g)
+            b.validate(g)
+
+    def test_ct2_protects_partial_free_node(self):
+        """Merging a low-priority side task must not squat on the cluster a
+        high-priority partial-free task needs.
+
+        Graph: src feeds crit (heavy path) and side (light path); crit is
+        partial-free while side is free because crit also waits on src2.
+        """
+        g = TaskGraph()
+        g.add_task("src", 10)
+        g.add_task("src2", 30)
+        g.add_task("side", 5)
+        g.add_task("crit", 100)
+        g.add_edge("src", "side", 4)
+        g.add_edge("src", "crit", 4)
+        g.add_edge("src2", "crit", 4)
+        with_ct2 = DSCScheduler(use_ct2=True).schedule(g)
+        with_ct2.validate(g)
+        no_ct2 = DSCScheduler(use_ct2=False).schedule(g)
+        no_ct2.validate(g)
+        assert with_ct2.makespan <= no_ct2.makespan + 1e-9

@@ -1,0 +1,64 @@
+"""The examples must keep running (executed as subprocesses)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "CLANS" in out
+        assert "130" in out  # the paper's worked-example parallel time
+
+    def test_compiler_pipeline(self):
+        out = run_example("compiler_pipeline.py")
+        assert "wide-area cluster" in out
+        assert "chosen" in out
+
+    def test_granularity_study_small(self):
+        out = run_example("granularity_study.py", "1")
+        assert "Table 2" in out
+        assert "Figure 1" in out
+
+    def test_clan_explorer(self):
+        out = run_example("clan_explorer.py")
+        assert "fork-join" in out
+        assert "parse tree" in out
+
+    def test_bounded_machines(self):
+        out = run_example("bounded_machines.py")
+        assert "lower bound" in out
+
+    def test_heterogeneous_cluster(self):
+        out = run_example("heterogeneous_cluster.py")
+        assert "HEFT" in out
+
+    def test_every_example_file_is_tested(self):
+        tested = {
+            "quickstart.py",
+            "compiler_pipeline.py",
+            "granularity_study.py",
+            "clan_explorer.py",
+            "bounded_machines.py",
+            "heterogeneous_cluster.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == tested

@@ -1,0 +1,119 @@
+"""Statistical sanity checks on the random generators.
+
+The suite's statistical integrity is what makes the paper's comparison
+meaningful: node weights uniform in the configured range, granularity
+targets spread across each band, graph sizes uniform in the requested
+interval, and realized classifications exactly as labelled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import anchor_out_degree, granularity
+from repro.core.metrics import GRANULARITY_BANDS
+from repro.generation.random_dag import generate_pdg, sample_target_granularity
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+class TestWeightDistribution:
+    def test_node_weights_span_the_range(self, rng):
+        weights = []
+        for _ in range(6):
+            g = generate_pdg(
+                rng, n_tasks=40, band=2, anchor=3, weight_range=(20, 100)
+            )
+            weights += [g.weight(t) for t in g.tasks()]
+        weights = np.asarray(weights)
+        assert weights.min() >= 20 and weights.max() <= 100
+        # uniform(20, 100) has mean 60; allow generous sampling noise
+        assert 50 < weights.mean() < 70
+        # both halves of the range are populated
+        assert (weights < 60).sum() > 0.25 * len(weights)
+        assert (weights > 60).sum() > 0.25 * len(weights)
+
+    def test_weights_are_integers(self, rng):
+        g = generate_pdg(rng, n_tasks=30, band=1, anchor=2, weight_range=(20, 100))
+        for t in g.tasks():
+            assert g.weight(t) == int(g.weight(t))
+
+
+class TestGranularityTargets:
+    @pytest.mark.parametrize("band", range(5))
+    def test_targets_spread_within_band(self, band, rng):
+        lo, hi = GRANULARITY_BANDS[band]
+        targets = [sample_target_granularity(band, rng) for _ in range(300)]
+        assert all(lo <= t < hi for t in targets)
+        spread = max(targets) / min(targets)
+        assert spread > 1.5  # not collapsed onto one value
+
+    def test_realized_matches_label_across_bands(self, rng):
+        for band in range(5):
+            g = generate_pdg(
+                rng, n_tasks=35, band=band, anchor=2, weight_range=(20, 200)
+            )
+            lo, hi = GRANULARITY_BANDS[band]
+            assert lo <= granularity(g) < hi
+
+
+class TestSuiteComposition:
+    def test_sizes_uniformish(self):
+        cells = [SuiteCell(2, 2, (20, 100))]
+        sizes = [
+            sg.graph.n_tasks
+            for sg in generate_suite(
+                graphs_per_cell=30, cells=cells, n_tasks_range=(20, 40)
+            )
+        ]
+        assert min(sizes) >= 20 and max(sizes) <= 40
+        assert len(set(sizes)) > 8  # many distinct sizes drawn
+
+    def test_every_cell_correctly_classified(self):
+        cells = [
+            SuiteCell(0, 2, (20, 100)),
+            SuiteCell(2, 4, (20, 200)),
+            SuiteCell(4, 5, (20, 400)),
+        ]
+        for sg in generate_suite(graphs_per_cell=3, cells=cells,
+                                 n_tasks_range=(20, 35)):
+            lo, hi = GRANULARITY_BANDS[sg.cell.band]
+            assert lo <= granularity(sg.graph) < hi
+            assert anchor_out_degree(sg.graph) == sg.cell.anchor
+
+    def test_graphs_differ_within_cell(self):
+        cells = [SuiteCell(3, 3, (20, 100))]
+        graphs = [
+            sg.graph
+            for sg in generate_suite(graphs_per_cell=5, cells=cells,
+                                     n_tasks_range=(20, 30))
+        ]
+        # no two identical graphs in a cell
+        for i in range(len(graphs)):
+            for j in range(i + 1, len(graphs)):
+                assert graphs[i] != graphs[j]
+
+
+class TestEdgeWeightStructure:
+    def test_max_out_edge_tracks_node_weight(self, rng):
+        """Per construction each non-sink's heaviest out-edge is about
+        w_i / g_i with g_i scattered around the target."""
+        target = 0.5
+        g = generate_pdg(rng, n_tasks=40, band=2, anchor=3, weight_range=(20, 100))
+        ratios = []
+        for t in g.tasks():
+            out = g.out_edges(t)
+            if out:
+                ratios.append(g.weight(t) / max(out.values()))
+        mean_ratio = sum(ratios) / len(ratios)
+        lo, hi = GRANULARITY_BANDS[2]
+        assert lo <= mean_ratio < hi  # the paper-formula granularity itself
+
+    def test_secondary_edges_lighter_than_max(self, rng):
+        g = generate_pdg(rng, n_tasks=40, band=3, anchor=4, weight_range=(20, 100))
+        for t in g.tasks():
+            out = list(g.out_edges(t).values())
+            if len(out) >= 2:
+                mx = max(out)
+                assert all(e <= mx + 1e-9 for e in out)
+                assert all(e >= 0.3 * mx - 1e-9 for e in out)

@@ -1,0 +1,78 @@
+"""Golden regression tests: pinned makespans on seeded graphs.
+
+These protect the heuristics against silent behavioural drift: any change
+to priorities, tie-breaking, or timing shows up as a changed makespan on
+these fixed inputs.  If a change is *intentional* (e.g. an algorithmic
+improvement), regenerate the constants with::
+
+    python -m pytest tests/test_golden.py --collect-only  # see the recipe
+    python -c "import tests.test_golden as g; print(g.regenerate())"
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import get_scheduler
+from repro.generation.random_dag import generate_pdg
+
+#: (band, anchor, seed) -> {heuristic: makespan}; values were produced by
+#: this library at v1.0.0 and every entry was validated against the
+#: execution model when recorded.
+GOLDEN: dict[tuple[int, int, int], dict[str, float]] = {}
+
+
+def _graph(band: int, anchor: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return generate_pdg(
+        rng, n_tasks=30, band=band, anchor=anchor, weight_range=(20, 100)
+    )
+
+
+CASES = [(0, 2, 11), (2, 3, 22), (4, 4, 33)]
+NAMES = ["CLANS", "DSC", "MCP", "MH", "HU", "ETF", "LC", "EZ", "DLS", "HLFET"]
+
+
+def regenerate() -> str:
+    """Print a fresh GOLDEN table (for intentional algorithm changes)."""
+    lines = ["GOLDEN = {"]
+    for case in CASES:
+        g = _graph(*case)
+        row = {}
+        for name in NAMES:
+            s = get_scheduler(name).schedule(g)
+            s.validate(g)
+            row[name] = s.makespan
+        entries = ", ".join(f'"{k}": {v!r}' for k, v in row.items())
+        lines.append(f"    {case}: {{{entries}}},")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+GOLDEN = {
+    (0, 2, 11): {"CLANS": 1683.0, "DSC": 3141.9958899261183, "MCP": 2866.4211881425467, "MH": 2866.4211881425467, "HU": 11807.77840969506, "ETF": 2866.4211881425467, "LC": 6738.5469015264225, "EZ": 1683.0, "DLS": 2866.4211881425467, "HLFET": 3141.9958899261183},
+    (2, 3, 22): {"CLANS": 1266.6952151447927, "DSC": 1097.9113621929084, "MCP": 1112.6369902343092, "MH": 1285.657561002683, "HU": 2094.913269530301, "ETF": 1133.0484406419214, "LC": 1223.9159751269062, "EZ": 1155.0828481890785, "DLS": 1075.1122800522542, "HLFET": 1112.6369902343092},
+    (4, 4, 33): {"CLANS": 725.7756704491898, "DSC": 716.092099815579, "MCP": 716.092099815579, "MH": 716.092099815579, "HU": 812.547478184513, "ETF": 737.8525035332297, "LC": 726.9595582488885, "EZ": 744.8253423122078, "DLS": 709.1525285329164, "HLFET": 716.092099815579},
+}
+
+
+class TestGolden:
+    @pytest.mark.parametrize("case", CASES)
+    def test_generation_is_stable(self, case):
+        """The same seed must produce the same graph twice."""
+        assert _graph(*case) == _graph(*case)
+
+    @pytest.mark.parametrize("case", CASES)
+    @pytest.mark.parametrize("name", NAMES)
+    def test_makespans_pinned(self, case, name):
+        expected = GOLDEN[case].get(name)
+        if expected is None:
+            pytest.skip("golden value not recorded")
+        g = _graph(*case)
+        s = get_scheduler(name).schedule(g)
+        s.validate(g)
+        assert s.makespan == pytest.approx(expected, rel=1e-12), (
+            f"{name} drifted on {case}: got {s.makespan!r}, "
+            f"expected {expected!r}.  If intentional, regenerate GOLDEN."
+        )

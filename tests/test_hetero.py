@@ -1,0 +1,161 @@
+"""Tests for the heterogeneous machine model and HEFT."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import ScheduleError, TaskGraph
+from repro.hetero import (
+    HEFTScheduler,
+    HeteroListScheduler,
+    HeterogeneousMachine,
+    validate_on_machine,
+)
+from repro.hetero.heft import upward_ranks
+
+from conftest import task_graphs
+
+
+class TestMachine:
+    def test_exec_time(self):
+        m = HeterogeneousMachine([1, 2, 4])
+        assert m.exec_time(20, 0) == 20.0
+        assert m.exec_time(20, 1) == 10.0
+        assert m.exec_time(20, 2) == 5.0
+
+    def test_mean_exec_time(self):
+        m = HeterogeneousMachine([1, 2])
+        assert m.mean_exec_time(20) == pytest.approx((20 + 10) / 2)
+
+    def test_homogeneous_factory(self):
+        m = HeterogeneousMachine.homogeneous(3)
+        assert m.n_processors == 3
+        assert m.exec_time(10, 2) == 10.0
+
+    def test_bad_speeds(self):
+        with pytest.raises(ScheduleError):
+            HeterogeneousMachine([])
+        with pytest.raises(ScheduleError):
+            HeterogeneousMachine([1, 0])
+        with pytest.raises(ScheduleError):
+            HeterogeneousMachine([1, -2])
+
+    def test_bad_processor(self):
+        with pytest.raises(ScheduleError):
+            HeterogeneousMachine([1]).exec_time(10, 5)
+
+
+class TestUpwardRanks:
+    def test_homogeneous_matches_blevel(self, paper_example):
+        from repro.core.analysis import b_levels
+
+        m = HeterogeneousMachine.homogeneous(3)
+        ranks = upward_ranks(paper_example, m)
+        levels = b_levels(paper_example, communication=True)
+        for t in paper_example.tasks():
+            assert ranks[t] == pytest.approx(levels[t])
+
+    def test_monotone_along_edges(self, paper_example):
+        m = HeterogeneousMachine([1, 3])
+        ranks = upward_ranks(paper_example, m)
+        for u, v in paper_example.edges():
+            assert ranks[u] > ranks[v]
+
+
+class TestHEFT:
+    def test_valid_on_zoo(self, paper_example, diamond, chain5, wide_fork):
+        m = HeterogeneousMachine([1, 2, 4])
+        for g in (paper_example, diamond, chain5, wide_fork):
+            s = HEFTScheduler(m).schedule(g)
+            validate_on_machine(s, g, m)
+
+    def test_prefers_fast_processor(self):
+        g = TaskGraph()
+        g.add_task("a", 100)
+        m = HeterogeneousMachine([1, 10])
+        s = HEFTScheduler(m).schedule(g)
+        assert s.processor_of("a") == 1
+        assert s.makespan == pytest.approx(10.0)
+
+    def test_chain_stays_on_fastest(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(i, 10)
+            if i:
+                g.add_edge(i - 1, i, 5)
+        m = HeterogeneousMachine([1, 4])
+        s = HEFTScheduler(m).schedule(g)
+        assert all(s.processor_of(i) == 1 for i in range(4))
+        assert s.makespan == pytest.approx(10.0)
+
+    def test_beats_speed_blind_baseline_on_skewed_machine(self):
+        from repro.generation.workloads import gaussian_elimination
+
+        g = gaussian_elimination(6, comp=20, comm=8)
+        m = HeterogeneousMachine([1, 1, 2, 4])
+        heft = HEFTScheduler(m).schedule(g)
+        hmh = HeteroListScheduler(m).schedule(g)
+        validate_on_machine(heft, g, m)
+        validate_on_machine(hmh, g, m)
+        assert heft.makespan < hmh.makespan
+
+    def test_homogeneous_equivalence_of_rules(self, wide_fork):
+        """On a homogeneous machine EFT and EST orderings coincide up to
+        insertion; both must be valid and close."""
+        m = HeterogeneousMachine.homogeneous(4)
+        heft = HEFTScheduler(m).schedule(wide_fork)
+        hmh = HeteroListScheduler(m).schedule(wide_fork)
+        validate_on_machine(heft, wide_fork, m)
+        validate_on_machine(hmh, wide_fork, m)
+        assert heft.makespan <= hmh.makespan + 1e-9
+
+    def test_insertion_flag(self, paper_example):
+        m = HeterogeneousMachine([1, 2])
+        a = HEFTScheduler(m, insertion=True).schedule(paper_example)
+        b = HEFTScheduler(m, insertion=False).schedule(paper_example)
+        validate_on_machine(a, paper_example, m)
+        validate_on_machine(b, paper_example, m)
+
+    def test_empty_graph_rejected(self):
+        from repro import GraphError
+
+        with pytest.raises(GraphError):
+            HEFTScheduler(HeterogeneousMachine([1])).schedule(TaskGraph())
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=40, deadline=None)
+    def test_property_always_valid(self, g):
+        m = HeterogeneousMachine([1, 2, 0.5])
+        s = HEFTScheduler(m).schedule(g)
+        validate_on_machine(s, g, m)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=25, deadline=None)
+    def test_property_hmh_valid(self, g):
+        m = HeterogeneousMachine([2, 1])
+        s = HeteroListScheduler(m).schedule(g)
+        validate_on_machine(s, g, m)
+
+
+class TestValidateOnMachine:
+    def test_catches_wrong_duration(self):
+        from repro import Schedule
+
+        g = TaskGraph()
+        g.add_task("a", 10)
+        m = HeterogeneousMachine([2])
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)  # should be 5 on a speed-2 processor
+        with pytest.raises(ScheduleError, match="expected"):
+            validate_on_machine(s, g, m)
+
+    def test_catches_out_of_machine(self):
+        from repro import Schedule
+
+        g = TaskGraph()
+        g.add_task("a", 10)
+        s = Schedule()
+        s.place("a", 5, 0.0, 10.0)
+        with pytest.raises(ScheduleError, match="outside"):
+            validate_on_machine(s, g, HeterogeneousMachine([1]))

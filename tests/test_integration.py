@@ -1,0 +1,104 @@
+"""End-to-end integration: suite -> schedules -> tables/figures.
+
+Runs a reduced version of the paper's experiment and asserts the headline
+*qualitative* findings (section 5.1) hold:
+
+* CLANS never produces speedup < 1; the others retard most low-granularity
+  graphs and almost none above G = 0.8;
+* HU is the worst heuristic in every band (largest NRPT);
+* average speedup increases with granularity for every heuristic;
+* CLANS is dramatically more efficient at low granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import PAPER_HEURISTIC_ORDER, run_suite
+from repro.experiments.tables import ALL_TABLES, table2, table3, table4, table5
+from repro.generation.suites import SuiteCell, generate_suite
+
+BANDS = range(5)
+
+
+@pytest.fixture(scope="module")
+def results():
+    # anchor 2/3, one weight range, all bands: enough signal, fast enough
+    cells = [
+        SuiteCell(band, anchor, (20, 200))
+        for band in BANDS
+        for anchor in (2, 3)
+    ]
+    suite = generate_suite(graphs_per_cell=4, cells=cells, n_tasks_range=(25, 55))
+    return run_suite(list(suite), validate=True)
+
+
+class TestQualitativeFindings:
+    def test_clans_never_retards(self, results):
+        t = table2(results)
+        assert all(v == 0 for v in t.column("CLANS"))
+
+    def test_others_retard_heavily_at_low_g(self, results):
+        t = table2(results)
+        n_low = sum(1 for gr in results if gr.band == 0)
+        for name in ("DSC", "MCP", "MH", "HU"):
+            assert t.value("G < 0.08", name) >= 0.5 * n_low, name
+
+    def test_no_retardation_at_high_g(self, results):
+        t = table2(results)
+        for name in PAPER_HEURISTIC_ORDER:
+            assert t.value("2 < G", name) == 0, name
+
+    def test_hu_worst_nrpt_everywhere(self, results):
+        t = table3(results)
+        for label, values in t.rows:
+            hu = t.value(label, "HU")
+            for name in ("CLANS", "DSC", "MCP", "MH"):
+                assert hu >= t.value(label, name), (label, name)
+
+    def test_clans_consistent_nrpt(self, results):
+        """Figure 1's claim: CLANS stays within ~6.5% of the best."""
+        t = table3(results)
+        assert max(t.column("CLANS")) <= 0.15
+
+    def test_speedup_increases_with_granularity(self, results):
+        t = table4(results)
+        for name in PAPER_HEURISTIC_ORDER:
+            col = t.column(name)
+            # allow small non-monotonic wobble between adjacent bands
+            assert col[-1] > col[0], name
+            assert col[2] > col[0], name
+
+    def test_clans_doubles_speedup_at_low_g(self, results):
+        t = table4(results)
+        clans = t.value("G < 0.08", "CLANS")
+        for name in ("DSC", "MCP", "MH"):
+            assert clans >= 1.3 * t.value("G < 0.08", name), name
+
+    def test_clans_most_efficient_at_low_g(self, results):
+        t = table5(results)
+        clans = t.value("G < 0.08", "CLANS")
+        for name in ("DSC", "MCP", "MH", "HU"):
+            assert clans > 2 * t.value("G < 0.08", name), name
+
+    def test_hu_efficiency_near_zero(self, results):
+        t = table5(results)
+        assert max(t.column("HU")) < 0.12
+
+
+class TestArtifactsRender:
+    def test_all_tables(self, results):
+        for tid, fn in ALL_TABLES.items():
+            txt = fn(results).to_text()
+            assert f"Table {tid}" in txt
+
+    def test_all_figures(self, results):
+        for fid, fn in ALL_FIGURES.items():
+            fig = fn(results)
+            assert fig.series
+            assert f"Figure {fid}" in fig.to_text()
+
+    def test_results_cover_expected_classes(self, results):
+        assert {gr.band for gr in results} == set(BANDS)
+        assert {gr.anchor for gr in results} == {2, 3}

@@ -1,0 +1,68 @@
+"""Tests for the layered alternative generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GenerationError, granularity, granularity_band
+from repro.generation.layered import generate_layered_pdg, layered_dag
+
+
+class TestLayeredDag:
+    def test_task_count_exact(self, rng):
+        for n in (1, 2, 17, 60):
+            g = layered_dag(rng, n_tasks=n)
+            assert g.n_tasks == n
+            g.validate()
+
+    def test_connected_between_layers(self, rng):
+        g = layered_dag(rng, n_tasks=50)
+        # every task beyond the first layer has a predecessor
+        first_layer_max = max(t for t in g.tasks() if g.in_degree(t) == 0)
+        for t in g.tasks():
+            if t > first_layer_max:
+                assert g.in_degree(t) >= 1
+
+    def test_deterministic(self):
+        a = layered_dag(np.random.default_rng(5), n_tasks=30)
+        b = layered_dag(np.random.default_rng(5), n_tasks=30)
+        assert a == b
+
+    def test_bad_args(self, rng):
+        with pytest.raises(GenerationError):
+            layered_dag(rng, n_tasks=0)
+        with pytest.raises(GenerationError):
+            layered_dag(rng, n_tasks=5, mean_width=0.5)
+
+
+class TestGenerateLayeredPdg:
+    @pytest.mark.parametrize("band", [0, 2, 4])
+    def test_band_met(self, band, rng):
+        g = generate_layered_pdg(rng, n_tasks=30, band=band, weight_range=(20, 100))
+        assert granularity_band(granularity(g)) == band
+        g.validate()
+
+    def test_weights_in_range(self, rng):
+        g = generate_layered_pdg(rng, n_tasks=25, band=2, weight_range=(20, 100))
+        for t in g.tasks():
+            assert 20 <= g.weight(t) <= 100
+
+    def test_schedulable_by_everyone(self, rng):
+        from repro import paper_schedulers
+
+        g = generate_layered_pdg(rng, n_tasks=30, band=1, weight_range=(20, 200))
+        for sched in paper_schedulers():
+            sched.schedule(g).validate(g)
+
+    def test_structurally_distinct_from_parse_tree_family(self, rng):
+        """Layered graphs should be primitive-heavy — the property that
+        makes them a meaningful second family for the bias study."""
+        from repro.clans import ClanKind, decompose
+
+        primitive_seen = 0
+        for _ in range(5):
+            g = generate_layered_pdg(rng, n_tasks=40, band=2, weight_range=(20, 100))
+            tree = decompose(g)
+            primitive_seen += tree.count(ClanKind.PRIMITIVE)
+        assert primitive_seen > 0

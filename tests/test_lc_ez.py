@@ -1,0 +1,86 @@
+"""Tests for the extension clustering heuristics LC and EZ."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import EZScheduler, LCScheduler, TaskGraph
+
+from conftest import task_graphs
+
+
+class TestLC:
+    def test_chain_is_one_cluster(self, chain5):
+        s = LCScheduler().schedule(chain5)
+        assert s.n_processors == 1
+        assert s.makespan == chain5.serial_time()
+
+    def test_clusters_are_paths(self, paper_example):
+        s = LCScheduler().schedule(paper_example)
+        s.validate(paper_example)
+        for cluster in s.clusters():
+            for u, v in zip(cluster, cluster[1:]):
+                # consecutive tasks in an LC cluster lie on one path
+                assert v in paper_example.descendants(u)
+
+    def test_diamond_two_clusters(self, diamond):
+        # CP = a-b-d (or a-c-d); the remaining node forms its own cluster
+        s = LCScheduler().schedule(diamond)
+        assert s.n_processors == 2
+
+    def test_independent_tasks_one_each(self):
+        g = TaskGraph()
+        for i in range(3):
+            g.add_task(i, 5)
+        s = LCScheduler().schedule(g)
+        assert s.n_processors == 3
+        assert s.makespan == 5.0
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=12))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid(self, g):
+        LCScheduler().schedule(g).validate(g)
+
+
+class TestEZ:
+    def test_zeroes_heaviest_edge_first(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        g.add_edge("a", "b", 1000)
+        s = EZScheduler().schedule(g)
+        assert s.processor_of("a") == s.processor_of("b")
+        assert s.makespan == 20.0
+
+    def test_keeps_parallel_when_merge_hurts(self):
+        g = TaskGraph()
+        g.add_task("a", 100)
+        g.add_task("b", 100)
+        s = EZScheduler().schedule(g)
+        assert s.n_processors == 2
+
+    def test_never_worse_than_fully_parallel_start(self, paper_example):
+        """EZ only accepts merges that do not increase the simulated
+        makespan, so it cannot end worse than the all-singletons clustering."""
+        from repro.core.simulator import simulate_clustering
+
+        singleton = simulate_clustering(
+            paper_example, {t: i for i, t in enumerate(paper_example.tasks())}
+        )
+        s = EZScheduler().schedule(paper_example)
+        assert s.makespan <= singleton.makespan + 1e-9
+
+    def test_monotone_improvement_on_zoo(self, diamond, chain5, wide_fork, two_sources_join):
+        from repro.core.simulator import simulate_clustering
+
+        for g in (diamond, chain5, wide_fork, two_sources_join):
+            base = simulate_clustering(g, {t: i for i, t in enumerate(g.tasks())})
+            s = EZScheduler().schedule(g)
+            s.validate(g)
+            assert s.makespan <= base.makespan + 1e-9
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid(self, g):
+        EZScheduler().schedule(g).validate(g)

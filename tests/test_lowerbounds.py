@@ -1,0 +1,94 @@
+"""Tests for makespan lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import GraphError, TaskGraph, paper_schedulers
+from repro.core.lowerbounds import best_bound, cp_bound, density_bound, work_bound
+from repro.schedulers import BoundedScheduler
+
+from conftest import task_graphs
+
+
+class TestCpBound:
+    def test_chain(self, chain5):
+        assert cp_bound(chain5) == 50.0  # communication-free
+
+    def test_diamond(self, diamond):
+        assert cp_bound(diamond) == 30.0
+
+    def test_empty(self):
+        assert cp_bound(TaskGraph()) == 0.0
+
+
+class TestWorkBound:
+    def test_unbounded_is_max_task(self, paper_example):
+        assert work_bound(paper_example) == 50.0
+
+    def test_bounded(self, paper_example):
+        assert work_bound(paper_example, 2) == 75.0
+        assert work_bound(paper_example, 5) == 30.0
+
+    def test_bad_p(self, paper_example):
+        with pytest.raises(GraphError):
+            work_bound(paper_example, 0)
+
+
+class TestDensityBound:
+    def test_at_least_cp(self, paper_example, diamond, wide_fork):
+        for g in (paper_example, diamond, wide_fork):
+            for p in (1, 2, 3):
+                assert density_bound(g, p) >= cp_bound(g) - 1e-9
+
+    def test_wide_antichain_on_few_procs(self):
+        """Six 10-unit independent tasks on 2 processors need >= 30."""
+        g = TaskGraph()
+        for i in range(6):
+            g.add_task(i, 10)
+        assert density_bound(g, 2) == pytest.approx(30.0)
+        assert density_bound(g, 6) == pytest.approx(10.0)
+
+    def test_chain_density_is_cp(self, chain5):
+        assert density_bound(chain5, 2) == pytest.approx(cp_bound(chain5))
+
+    def test_bad_p(self, diamond):
+        with pytest.raises(GraphError):
+            density_bound(diamond, 0)
+
+    def test_empty(self):
+        assert density_bound(TaskGraph(), 2) == 0.0
+
+
+class TestBestBound:
+    def test_takes_max(self):
+        g = TaskGraph()
+        for i in range(6):
+            g.add_task(i, 10)
+        # cp = 10, work/2 = 30, density = 30
+        assert best_bound(g, 2) == pytest.approx(30.0)
+
+    def test_unbounded(self, paper_example):
+        assert best_bound(paper_example) == pytest.approx(
+            max(cp_bound(paper_example), 50.0)
+        )
+
+
+class TestBoundsAreSound:
+    """The whole point: no schedule anywhere may beat the bounds."""
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=40, deadline=None)
+    def test_unbounded_schedules_dominate_bounds(self, g):
+        lb = best_bound(g)
+        for sched in paper_schedulers():
+            assert sched.schedule(g).makespan >= lb - 1e-9
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_schedules_dominate_bounds(self, g):
+        for p in (1, 2):
+            lb = best_bound(g, p)
+            s = BoundedScheduler("MCP", p).schedule(g)
+            assert s.makespan >= lb - 1e-9

@@ -1,0 +1,111 @@
+"""Tests for bounded-processor mapping (cluster folding)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import ScheduleError, TaskGraph, get_scheduler
+from repro.schedulers import BoundedScheduler
+from repro.schedulers.mapping import fold_clusters_guided, fold_clusters_lpt
+
+from conftest import task_graphs
+
+
+class TestFoldLpt:
+    def test_respects_processor_count(self, wide_fork):
+        s = get_scheduler("HU").schedule(wide_fork)  # spreads widely
+        assignment = fold_clusters_lpt(wide_fork, s.clusters(), 2)
+        assert set(assignment.values()) <= {0, 1}
+        assert set(assignment) == set(wide_fork.tasks())
+
+    def test_clusters_stay_whole(self, wide_fork):
+        s = get_scheduler("DSC").schedule(wide_fork)
+        clusters = s.clusters()
+        assignment = fold_clusters_lpt(wide_fork, clusters, 2)
+        for cluster in clusters:
+            assert len({assignment[t] for t in cluster}) == 1
+
+    def test_balance(self):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(i, 10)
+        clusters = [[0], [1], [2], [3]]
+        assignment = fold_clusters_lpt(g, clusters, 2)
+        loads = {}
+        for t, p in assignment.items():
+            loads[p] = loads.get(p, 0) + g.weight(t)
+        assert loads[0] == loads[1] == 20
+
+    def test_bad_processor_count(self, diamond):
+        with pytest.raises(ScheduleError):
+            fold_clusters_lpt(diamond, [list(diamond.tasks())], 0)
+
+
+class TestFoldGuided:
+    def test_valid_and_not_worse_than_lpt_often(self, wide_fork):
+        from repro.core.simulator import simulate_clustering
+
+        s = get_scheduler("HU").schedule(wide_fork)
+        clusters = s.clusters()
+        lpt = simulate_clustering(wide_fork, fold_clusters_lpt(wide_fork, clusters, 2))
+        guided = simulate_clustering(
+            wide_fork, fold_clusters_guided(wide_fork, clusters, 2)
+        )
+        lpt.validate(wide_fork)
+        guided.validate(wide_fork)
+        # guided search evaluates the true makespan; it should not lose badly
+        assert guided.makespan <= lpt.makespan * 1.25 + 1e-9
+
+
+class TestBoundedScheduler:
+    @pytest.mark.parametrize("inner", ["DSC", "MH", "HU", "CLANS"])
+    @pytest.mark.parametrize("p", [1, 2, 3])
+    def test_never_exceeds_p(self, paper_example, wide_fork, inner, p):
+        for g in (paper_example, wide_fork):
+            s = BoundedScheduler(inner, p).schedule(g)
+            s.validate(g)
+            assert s.n_processors <= p
+
+    def test_p1_is_serial_time(self, paper_example):
+        s = BoundedScheduler("DSC", 1).schedule(paper_example)
+        assert s.makespan == pytest.approx(paper_example.serial_time())
+
+    def test_unbounded_result_kept_when_small(self, chain5):
+        # DSC uses one cluster on a chain; folding to 4 procs is a no-op
+        s = BoundedScheduler("DSC", 4).schedule(chain5)
+        assert s.n_processors == 1
+
+    def test_name_encodes_p(self):
+        assert BoundedScheduler("DSC", 4).name == "DSC@p4"
+
+    def test_accepts_instance(self, diamond):
+        inner = get_scheduler("MH")
+        s = BoundedScheduler(inner, 2).schedule(diamond)
+        s.validate(diamond)
+
+    def test_bad_p(self):
+        with pytest.raises(ScheduleError):
+            BoundedScheduler("DSC", 0)
+
+    def test_guided_mode(self, wide_fork):
+        s = BoundedScheduler("HU", 2, guided=True).schedule(wide_fork)
+        s.validate(wide_fork)
+        assert s.n_processors <= 2
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_valid_at_p2(self, g):
+        s = BoundedScheduler("MCP", 2).schedule(g)
+        s.validate(g)
+        assert s.n_processors <= 2
+
+
+class TestMoreProcessorsHelp:
+    def test_monotone_trend_on_parallel_workload(self, wide_fork):
+        spans = [
+            BoundedScheduler("MCP", p).schedule(wide_fork).makespan
+            for p in (1, 2, 4)
+        ]
+        # more processors should never make the *best observed* worse overall
+        assert min(spans) == spans[-1] or spans[-1] <= spans[0]

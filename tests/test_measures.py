@@ -1,0 +1,80 @@
+"""Tests for the paper's performance measures and aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.measures import (
+    AggregateRow,
+    GraphResult,
+    HeuristicResult,
+    aggregate,
+)
+
+
+def gr(graph_id, band, serial, times, procs=None, anchor=2, wr=(20, 100)):
+    procs = procs or {n: 2 for n in times}
+    return GraphResult(
+        graph_id=graph_id,
+        band=band,
+        anchor=anchor,
+        weight_range=wr,
+        granularity=0.5,
+        serial_time=serial,
+        results={
+            n: HeuristicResult(parallel_time=t, n_processors=procs[n])
+            for n, t in times.items()
+        },
+    )
+
+
+class TestHeuristicResult:
+    def test_speedup_efficiency(self):
+        r = HeuristicResult(parallel_time=50.0, n_processors=4)
+        assert r.speedup(100.0) == pytest.approx(2.0)
+        assert r.efficiency(100.0) == pytest.approx(0.5)
+
+
+class TestGraphResult:
+    def test_best_and_nrpt(self):
+        g = gr("g", 0, 100, {"A": 50.0, "B": 100.0})
+        assert g.best_parallel_time == 50.0
+        assert g.nrpt("A") == pytest.approx(0.0)
+        assert g.nrpt("B") == pytest.approx(1.0)
+
+    def test_retarded(self):
+        g = gr("g", 0, 100, {"A": 120.0, "B": 100.0, "C": 99.0})
+        assert g.retarded("A")
+        assert not g.retarded("B")  # speedup exactly 1 is not a retardation
+        assert not g.retarded("C")
+
+    def test_speedup_efficiency_shortcuts(self):
+        g = gr("g", 0, 100, {"A": 25.0}, procs={"A": 2})
+        assert g.speedup("A") == pytest.approx(4.0)
+        assert g.efficiency("A") == pytest.approx(2.0)
+
+
+class TestAggregate:
+    def test_grouping_and_means(self):
+        results = [
+            gr("g1", 0, 100, {"A": 50.0, "B": 100.0}),
+            gr("g2", 0, 100, {"A": 100.0, "B": 200.0}),
+            gr("g3", 1, 100, {"A": 20.0, "B": 10.0}),
+        ]
+        agg = aggregate(results, lambda r: r.band, ["A", "B"])
+        assert set(agg) == {0, 1}
+        band0 = agg[0]
+        assert band0["A"].n_graphs == 2
+        assert band0["A"].mean_speedup == pytest.approx((2.0 + 1.0) / 2)
+        assert band0["B"].n_retarded == 1  # 200 > serial 100
+        assert band0["B"].mean_nrpt == pytest.approx(1.0)
+        assert band0["A"].mean_processors == 2.0
+        band1 = agg[1]
+        assert band1["B"].mean_nrpt == pytest.approx(0.0)
+
+    def test_empty(self):
+        assert aggregate([], lambda r: r.band, ["A"]) == {}
+
+    def test_aggregate_row_defaults(self):
+        row = AggregateRow()
+        assert row.n_graphs == 0

@@ -1,0 +1,92 @@
+"""Tests for the GA and SA metaheuristic schedulers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import get_scheduler
+from repro.schedulers import AnnealingScheduler, GeneticScheduler
+
+from conftest import task_graphs
+
+
+class TestGenetic:
+    def test_valid_on_zoo(self, paper_example, diamond, wide_fork):
+        ga = GeneticScheduler(population=8, generations=5)
+        for g in (paper_example, diamond, wide_fork):
+            ga.schedule(g).validate(g)
+
+    def test_never_worse_than_seed_heuristics(self, paper_example, two_sources_join):
+        ga = GeneticScheduler(population=8, generations=3)
+        for g in (paper_example, two_sources_join):
+            best_seed = min(
+                get_scheduler(n).schedule(g).makespan
+                for n in ("CLANS", "DSC", "MCP", "MH")
+            )
+            assert ga.schedule(g).makespan <= best_seed + 1e-9
+
+    def test_deterministic_under_seed(self, paper_example):
+        a = GeneticScheduler(population=8, generations=4, seed=7).schedule(paper_example)
+        b = GeneticScheduler(population=8, generations=4, seed=7).schedule(paper_example)
+        assert a.makespan == b.makespan
+
+    def test_finds_optimum_on_tiny_graph(self, diamond):
+        ga = GeneticScheduler(population=16, generations=15)
+        opt = get_scheduler("OPT").schedule(diamond)
+        assert ga.schedule(diamond).makespan == pytest.approx(opt.makespan)
+
+    def test_max_processors_respected(self, wide_fork):
+        s = GeneticScheduler(population=8, generations=3, max_processors=2).schedule(
+            wide_fork
+        )
+        assert s.n_processors <= 2
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            GeneticScheduler(population=2)
+        with pytest.raises(ValueError):
+            GeneticScheduler(generations=0)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=8))
+    @settings(max_examples=10, deadline=None)
+    def test_property_valid(self, g):
+        s = GeneticScheduler(population=6, generations=2).schedule(g)
+        s.validate(g)
+
+
+class TestAnnealing:
+    def test_valid_on_zoo(self, paper_example, diamond, wide_fork):
+        sa = AnnealingScheduler(steps=150)
+        for g in (paper_example, diamond, wide_fork):
+            sa.schedule(g).validate(g)
+
+    def test_never_worse_than_start(self, paper_example, two_sources_join, wide_fork):
+        sa = AnnealingScheduler(steps=200, start_heuristic="MCP")
+        for g in (paper_example, two_sources_join, wide_fork):
+            start = get_scheduler("MCP").schedule(g).makespan
+            assert sa.schedule(g).makespan <= start + 1e-9
+
+    def test_deterministic_under_seed(self, paper_example):
+        a = AnnealingScheduler(steps=150, seed=3).schedule(paper_example)
+        b = AnnealingScheduler(steps=150, seed=3).schedule(paper_example)
+        assert a.makespan == b.makespan
+
+    def test_escapes_hu_disaster(self, two_sources_join):
+        """Starting from HU's retarding schedule, SA must find its way to
+        at-least-serial performance."""
+        sa = AnnealingScheduler(steps=600, start_heuristic="HU", seed=1)
+        s = sa.schedule(two_sources_join)
+        assert s.makespan <= two_sources_join.serial_time() + 1e-9
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            AnnealingScheduler(steps=0)
+        with pytest.raises(ValueError):
+            AnnealingScheduler(t_start=0.1, t_end=0.5)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=8))
+    @settings(max_examples=10, deadline=None)
+    def test_property_valid(self, g):
+        s = AnnealingScheduler(steps=60).schedule(g)
+        s.validate(g)

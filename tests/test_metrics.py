@@ -1,0 +1,134 @@
+"""Unit tests for the paper's classification metrics (section 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    GRANULARITY_BANDS,
+    GraphError,
+    TaskGraph,
+    anchor_out_degree,
+    granularity,
+    granularity_band,
+    node_weight_range,
+)
+
+
+def build(nodes, edges):
+    g = TaskGraph()
+    for t, w in nodes:
+        g.add_task(t, w)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestGranularity:
+    def test_hand_computed(self):
+        # non-sinks: a (w=10, max edge 5 -> 2.0), b (w=6, max edge 3 -> 2.0)
+        g = build(
+            [("a", 10), ("b", 6), ("c", 1)],
+            [("a", "b", 5), ("a", "c", 2), ("b", "c", 3)],
+        )
+        assert granularity(g) == pytest.approx(2.0)
+
+    def test_sinks_excluded(self):
+        g = build([("a", 4), ("sink", 1000)], [("a", "sink", 2)])
+        assert granularity(g) == pytest.approx(2.0)
+
+    def test_max_edge_used_not_sum(self):
+        g = build(
+            [("a", 12), ("b", 1), ("c", 1)],
+            [("a", "b", 6), ("a", "c", 3)],
+        )
+        assert granularity(g) == pytest.approx(2.0)
+
+    def test_no_edges_undefined(self):
+        g = build([("a", 1)], [])
+        with pytest.raises(GraphError):
+            granularity(g)
+
+    def test_zero_weight_edges_rejected(self):
+        g = build([("a", 1), ("b", 1)], [("a", "b", 0)])
+        with pytest.raises(GraphError):
+            granularity(g)
+
+    def test_paper_example(self, paper_example):
+        # terms: 10/6, 20/4, 30/3, 40/4
+        expect = (10 / 6 + 20 / 4 + 30 / 3 + 40 / 4) / 4
+        assert granularity(paper_example) == pytest.approx(expect)
+
+
+class TestGranularityBand:
+    @pytest.mark.parametrize(
+        "value, band",
+        [
+            (0.001, 0),
+            (0.0799, 0),
+            (0.08, 1),
+            (0.19, 1),
+            (0.2, 2),
+            (0.79, 2),
+            (0.8, 3),
+            (1.99, 3),
+            (2.0, 4),
+            (1000.0, 4),
+        ],
+    )
+    def test_boundaries(self, value, band):
+        assert granularity_band(value) == band
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            granularity_band(-0.1)
+
+    def test_bands_cover_positive_reals(self):
+        lo0 = GRANULARITY_BANDS[0][0]
+        assert lo0 == 0.0
+        for (_, hi), (lo, _) in zip(GRANULARITY_BANDS, GRANULARITY_BANDS[1:]):
+            assert hi == lo
+        assert math.isinf(GRANULARITY_BANDS[-1][1])
+
+
+class TestAnchor:
+    def test_mode(self):
+        g = build(
+            [(i, 1) for i in range(6)],
+            [(0, 3, 1), (0, 4, 1), (1, 4, 1), (1, 5, 1), (2, 5, 1)],
+        )
+        # out-degrees (non-sink): 0 -> 2, 1 -> 2, 2 -> 1; mode = 2
+        assert anchor_out_degree(g) == 2
+
+    def test_tie_breaks_small(self):
+        g = build(
+            [(i, 1) for i in range(5)],
+            [(0, 2, 1), (1, 3, 1), (1, 4, 1)],
+        )
+        # degrees: 0 -> 1, 1 -> 2: tie; smaller wins
+        assert anchor_out_degree(g) == 1
+
+    def test_include_sinks(self):
+        g = build([(0, 1), (1, 1), (2, 1)], [(0, 1, 1), (0, 2, 1)])
+        assert anchor_out_degree(g) == 2
+        assert anchor_out_degree(g, include_sinks=True) == 0
+
+    def test_no_qualifying_tasks(self):
+        g = build([(0, 1)], [])
+        with pytest.raises(GraphError):
+            anchor_out_degree(g)
+        assert anchor_out_degree(g, include_sinks=True) == 0
+
+
+class TestNodeWeightRange:
+    def test_range(self, paper_example):
+        assert node_weight_range(paper_example) == (10.0, 50.0)
+
+    def test_single(self, single):
+        assert node_weight_range(single) == (7.0, 7.0)
+
+    def test_empty(self):
+        with pytest.raises(GraphError):
+            node_weight_range(TaskGraph())

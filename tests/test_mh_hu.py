@@ -1,0 +1,100 @@
+"""Tests for the list schedulers MH and HU (appendix A.3 / A.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HuScheduler, MHScheduler, TaskGraph
+
+
+class TestMH:
+    def test_chain_single_processor(self, chain5):
+        s = MHScheduler().schedule(chain5)
+        assert s.n_processors == 1
+
+    def test_picks_earliest_start_processor(self):
+        """Successor with heavy comm stays with its producer."""
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        g.add_edge("a", "b", 100)
+        s = MHScheduler().schedule(g)
+        assert s.processor_of("a") == s.processor_of("b")
+        assert s.makespan == 20.0
+
+    def test_spreads_when_cheap(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 100)
+        g.add_task("c", 100)
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "c", 1)
+        s = MHScheduler().schedule(g)
+        assert s.processor_of("b") != s.processor_of("c")
+
+    def test_priority_is_comm_level(self, paper_example):
+        """Higher-level branches get scheduled (and thus start) first among
+        simultaneously free tasks: node 3 (level 127+) beats node 2 (74)."""
+        s = MHScheduler().schedule(paper_example)
+        assert s.start(3) <= s.start(2)
+
+    def test_wave_release(self, diamond):
+        s = MHScheduler().schedule(diamond)
+        s.validate(diamond)
+        # b before c or same time (levels equal, order deterministic)
+        assert s.start("b") <= s.start("c")
+
+
+class TestHU:
+    def test_spreads_maximally(self, wide_fork):
+        """Earliest-available-processor choice gives ~1 task per processor."""
+        s = HuScheduler().schedule(wide_fork)
+        assert s.n_processors >= 6
+
+    def test_chain_spreads_and_pays(self, chain5):
+        """Even a pure chain gets scattered — each task lands on a fresh
+        processor and pays every message (the paper's HU pathology)."""
+        s = HuScheduler().schedule(chain5)
+        assert s.n_processors == 5
+        assert s.makespan == chain5.serial_time() + 4 * 3  # all comms paid
+
+    def test_retards_at_low_granularity(self, two_sources_join):
+        s = HuScheduler().schedule(two_sources_join)
+        assert s.speedup(two_sources_join) < 1.0
+
+    def test_hu_ignores_comm_in_priority(self):
+        """HU orders by computation-only level: a long cheap chain beats a
+        short branch with a huge edge weight."""
+        g = TaskGraph()
+        g.add_task("src", 1)
+        # branch A: two nodes, no comm -> hu level 21
+        g.add_task("a1", 10)
+        g.add_task("a2", 10)
+        # branch B: one node, giant comm -> hu level 11 (comm ignored)
+        g.add_task("b1", 10)
+        g.add_edge("src", "a1", 1)
+        g.add_edge("a1", "a2", 1)
+        g.add_edge("src", "b1", 10_000)
+        s = HuScheduler().schedule(g)
+        assert s.start("a1") <= s.start("b1")
+
+    def test_reuses_idle_processor_at_time_zero(self):
+        """Two independent sources: the second source prefers an existing
+        idle processor only if one is free at the same instant — here P0 is
+        busy, so a fresh processor is used."""
+        g = TaskGraph()
+        g.add_task("x", 10)
+        g.add_task("y", 10)
+        s = HuScheduler().schedule(g)
+        assert s.n_processors == 2
+        assert s.start("x") == s.start("y") == 0.0
+
+
+class TestMHvsHU:
+    def test_mh_beats_hu_on_heavy_comm(self, paper_example, two_sources_join, chain5):
+        """The processor-choice rule is the entire difference: MH must never
+        lose to HU on graphs where communication matters."""
+        for g in (paper_example, two_sources_join, chain5):
+            mh = MHScheduler().schedule(g)
+            hu = HuScheduler().schedule(g)
+            assert mh.makespan <= hu.makespan + 1e-9

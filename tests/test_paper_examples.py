@@ -1,0 +1,84 @@
+"""Reproduction of the paper's worked appendix example (Figures 8–16).
+
+The appendix traces all five heuristics over one 5-node PDG.  The figure
+images are not part of the text, but the CLANS walkthrough gives exact
+numbers we check bit-for-bit; for the other heuristics we verify the
+documented qualitative behaviour on the same graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TaskGraph, get_scheduler, paper_schedulers
+from repro.clans import ClanKind, decompose
+
+
+class TestClansWalkthrough:
+    """Appendix A.5's cost derivation, step by step."""
+
+    def test_c1_cluster_cost(self, paper_example):
+        """C1 = {3, 4} is linear: clustered cost 30 + 40 = 70."""
+        c1 = paper_example.subgraph({3, 4})
+        assert c1.serial_time() == 70.0
+
+    def test_node2_remote_cost(self, paper_example):
+        """Node 2 separate: in-edge 5 + weight 20 + out-edge 4 = 29."""
+        cost = (
+            paper_example.edge_weight(1, 2)
+            + paper_example.weight(2)
+            + paper_example.edge_weight(2, 5)
+        )
+        assert cost == 29.0
+
+    def test_c2_parallel_cost_is_70(self, paper_example):
+        """Parallelizing C2 costs max(29, 70) = 70 < clustering 90."""
+        assert max(29.0, 70.0) == 70.0
+        assert 20.0 + 70.0 == 90.0  # the rejected clustering cost
+
+    def test_total_parallel_time_130(self, paper_example):
+        """1 + C2 + 5 in sequence: 10 + 70 + 50 = 130 (Figure 16 C)."""
+        s = get_scheduler("CLANS").schedule(paper_example)
+        assert s.makespan == pytest.approx(130.0)
+
+    def test_parse_tree_matches_figure_16b(self, paper_example):
+        tree = decompose(paper_example)
+        kinds = [(n.kind, n.members) for n in tree.walk() if not n.is_leaf]
+        assert (ClanKind.LINEAR, frozenset([1, 2, 3, 4, 5])) in kinds
+        assert (ClanKind.INDEPENDENT, frozenset([2, 3, 4])) in kinds
+        assert (ClanKind.LINEAR, frozenset([3, 4])) in kinds
+
+
+class TestAllHeuristicsOnExample:
+    def test_everyone_valid(self, paper_example):
+        for sched in paper_schedulers():
+            sched.schedule(paper_example).validate(paper_example)
+
+    def test_hu_spreads_most(self, paper_example):
+        """HU's earliest-available-processor rule gives one task per
+        processor here — the most processors of the five."""
+        results = {
+            s.name: s.schedule(paper_example) for s in paper_schedulers()
+        }
+        assert results["HU"].n_processors == 5
+        assert all(
+            results["HU"].n_processors >= r.n_processors
+            for r in results.values()
+        )
+
+    def test_best_heuristics_reach_130(self, paper_example):
+        """130 is the best achievable by clustering node 2 away; CLANS,
+        DSC, MCP and MH all find it."""
+        for name in ("CLANS", "DSC", "MCP", "MH"):
+            s = get_scheduler(name).schedule(paper_example)
+            assert s.makespan == pytest.approx(130.0), name
+
+    def test_hu_pays_communication(self, paper_example):
+        s = get_scheduler("HU").schedule(paper_example)
+        assert s.makespan > 130.0
+
+    def test_nobody_beats_the_optimal(self, paper_example):
+        opt = get_scheduler("OPT").schedule(paper_example)
+        assert opt.makespan == pytest.approx(130.0)
+        for sched in paper_schedulers():
+            assert sched.schedule(paper_example).makespan >= opt.makespan - 1e-9

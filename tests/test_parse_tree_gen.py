@@ -1,0 +1,57 @@
+"""Tests for the random series-parallel parse-tree generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GenerationError
+from repro.generation.parse_tree import SPKind, SPNode, random_parse_tree
+
+
+class TestRandomParseTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 20, 61])
+    def test_leaf_count_exact(self, n, rng):
+        tree = random_parse_tree(n, rng)
+        assert tree.n_leaves == n
+
+    def test_single_leaf_is_leaf(self, rng):
+        assert random_parse_tree(1, rng).kind is SPKind.LEAF
+
+    def test_kinds_alternate(self, rng):
+        tree = random_parse_tree(40, rng)
+        for node in tree.walk():
+            for child in node.children:
+                if not child.kind is SPKind.LEAF:
+                    assert child.kind is not node.kind
+
+    def test_max_children_respected(self, rng):
+        tree = random_parse_tree(60, rng, max_children=3)
+        for node in tree.walk():
+            assert len(node.children) <= 3
+
+    def test_root_kind_forced(self, rng):
+        t = random_parse_tree(10, rng, root_kind=SPKind.INDEPENDENT)
+        assert t.kind is SPKind.INDEPENDENT
+
+    def test_root_leaf_rejected(self, rng):
+        with pytest.raises(GenerationError):
+            random_parse_tree(5, rng, root_kind=SPKind.LEAF)
+
+    def test_bad_args(self, rng):
+        with pytest.raises(GenerationError):
+            random_parse_tree(0, rng)
+        with pytest.raises(GenerationError):
+            random_parse_tree(5, rng, max_children=1)
+
+    def test_deterministic_under_seed(self):
+        a = random_parse_tree(30, np.random.default_rng(7))
+        b = random_parse_tree(30, np.random.default_rng(7))
+
+        def shape(t: SPNode):
+            return (t.kind.value, [shape(c) for c in t.children])
+
+        assert shape(a) == shape(b)
+
+    def test_depth_positive_for_composite(self, rng):
+        assert random_parse_tree(10, rng).depth() >= 1

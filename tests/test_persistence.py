@@ -1,0 +1,93 @@
+"""Tests for suite/result persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.persistence import (
+    load_results,
+    load_suite,
+    results_to_csv,
+    save_results,
+    save_suite,
+)
+from repro.experiments.runner import run_suite
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    cells = [SuiteCell(1, 2, (20, 100)), SuiteCell(3, 4, (20, 400))]
+    return list(generate_suite(graphs_per_cell=2, cells=cells, n_tasks_range=(12, 18)))
+
+
+@pytest.fixture(scope="module")
+def results(suite):
+    return run_suite(suite)
+
+
+class TestResultsRoundTrip:
+    def test_identical_after_round_trip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        back = load_results(path)
+        assert back == results
+
+    def test_tables_identical(self, results, tmp_path):
+        from repro.experiments.tables import table3
+
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        assert table3(load_results(path)).to_text() == table3(results).to_text()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a repro results file"):
+            load_results(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.json"
+        path.write_text('{"format": "repro-results", "version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_results(path)
+
+
+class TestCsvExport:
+    def test_row_count(self, results):
+        csv = results_to_csv(results)
+        lines = csv.splitlines()
+        n_heuristics = len(results[0].results)
+        assert len(lines) == 1 + len(results) * n_heuristics
+
+    def test_header_and_fields(self, results):
+        csv = results_to_csv(results)
+        header = csv.splitlines()[0].split(",")
+        assert "speedup" in header and "nrpt" in header
+        first = csv.splitlines()[1].split(",")
+        assert len(first) == len(header)
+
+
+class TestSuiteRoundTrip:
+    def test_graphs_identical(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        n = save_suite(suite, path)
+        assert n == len(suite)
+        back = load_suite(path)
+        assert len(back) == len(suite)
+        for a, b in zip(suite, back):
+            assert a.cell == b.cell
+            assert a.index == b.index
+            assert a.graph == b.graph
+
+    def test_rerun_from_disk_matches(self, suite, results, tmp_path):
+        path = tmp_path / "suite.json"
+        save_suite(suite, path)
+        rerun = run_suite(load_suite(path))
+        assert rerun == results
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "nope"}')
+        with pytest.raises(ValueError, match="not a repro suite"):
+            load_suite(path)

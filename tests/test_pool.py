@@ -1,0 +1,151 @@
+"""Unit tests for the shared ProcessorPool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TaskGraph
+from repro.schedulers._pool import ProcessorPool
+
+
+@pytest.fixture
+def graph():
+    g = TaskGraph()
+    g.add_task("a", 10)
+    g.add_task("b", 20)
+    g.add_task("c", 5)
+    g.add_edge("a", "b", 7)
+    g.add_edge("a", "c", 3)
+    return g
+
+
+class TestBookkeeping:
+    def test_initially_empty(self, graph):
+        pool = ProcessorPool(graph)
+        assert pool.n_processors == 0
+        assert pool.avail(0) == 0.0
+        assert pool.can_grow
+
+    def test_place_grows_pool(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        assert pool.n_processors == 1
+        assert pool.avail(0) == 10.0
+        assert pool.proc_of["a"] == 0
+
+    def test_non_contiguous_rejected(self, graph):
+        pool = ProcessorPool(graph)
+        with pytest.raises(ValueError):
+            pool.place("a", 3, 0.0)
+
+    def test_bad_cap(self, graph):
+        with pytest.raises(ValueError):
+            ProcessorPool(graph, max_processors=0)
+
+
+class TestReadyTimes:
+    def test_same_processor_no_comm(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        assert pool.ready_time("b", 0) == 10.0
+
+    def test_cross_processor_pays(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        assert pool.ready_time("b", 1) == 17.0
+        assert pool.ready_time("c", 1) == 13.0
+
+    def test_est_append_includes_avail(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        pool.place("b", 0, 10.0)
+        # c on proc 0: data ready at 10, proc busy until 30
+        assert pool.est_append("c", 0) == 30.0
+
+
+class TestInsertion:
+    def test_slides_into_gap(self):
+        g = TaskGraph()
+        g.add_task("x", 10)
+        g.add_task("y", 10)
+        g.add_task("z", 5)
+        pool = ProcessorPool(g)
+        pool.place("x", 0, 0.0)
+        pool.place("y", 0, 20.0)  # gap [10, 20]
+        assert pool.est_insertion("z", 0) == 10.0
+        assert pool.est_append("z", 0) == 30.0
+
+    def test_gap_too_small(self):
+        g = TaskGraph()
+        g.add_task("x", 10)
+        g.add_task("y", 10)
+        g.add_task("z", 15)
+        pool = ProcessorPool(g)
+        pool.place("x", 0, 0.0)
+        pool.place("y", 0, 20.0)
+        assert pool.est_insertion("z", 0) == 30.0
+
+
+class TestBestProcessor:
+    def test_prefers_data_locality(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        proc, start = pool.best_processor("b")
+        assert proc == 0 and start == 10.0
+
+    def test_fresh_wins_when_local_busy(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("blocker", 100)
+        g.add_task("b", 10)
+        g.add_edge("a", "b", 2)
+        pool = ProcessorPool(g)
+        pool.place("a", 0, 0.0)
+        pool.place("blocker", 0, 10.0)
+        proc, start = pool.best_processor("b")
+        assert proc == 1 and start == 12.0
+
+    def test_ties_prefer_existing(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        pool = ProcessorPool(g)
+        pool.place("a", 0, 0.0)
+        pool.place("b", 1, 0.0)
+        g.add_task("c", 1)
+        proc, start = pool.best_processor("c")
+        # all options start at 10 (P0), 10 (P1), 0 (fresh): fresh wins here
+        assert start == 0.0 and proc == 2
+
+
+class TestBoundedPool:
+    def test_cap_stops_growth(self, graph):
+        pool = ProcessorPool(graph, max_processors=1)
+        pool.place("a", 0, 0.0)
+        assert not pool.can_grow
+        proc, start = pool.best_processor("b")
+        assert proc == 0
+        proc, _ = pool.earliest_available_processor()
+        assert proc == 0
+
+    def test_cap_of_two(self, graph):
+        pool = ProcessorPool(graph, max_processors=2)
+        pool.place("a", 0, 0.0)
+        assert pool.can_grow
+        pool.place("b", 1, 17.0)
+        assert not pool.can_grow
+
+
+class TestEarliestAvailable:
+    def test_fresh_processor_at_zero(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        proc, avail = pool.earliest_available_processor()
+        assert proc == 1 and avail == 0.0
+
+    def test_reuses_idle_existing(self, graph):
+        pool = ProcessorPool(graph, max_processors=2)
+        pool.place("a", 0, 0.0)
+        pool.place("b", 1, 17.0)
+        proc, avail = pool.earliest_available_processor()
+        assert proc == 0 and avail == 10.0

@@ -1,0 +1,150 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    TaskGraph,
+    anchor_out_degree,
+    granularity,
+    paper_schedulers,
+    serial_schedule,
+    simulate_clustering,
+)
+from repro.clans import decompose, is_clan
+from repro.clans.parse_tree import ClanKind
+from repro.core.analysis import b_levels, critical_path_length, t_levels
+from repro.generation.random_dag import (
+    adjust_anchor,
+    assign_weights,
+    sp_dag_from_tree,
+)
+from repro.generation.parse_tree import random_parse_tree
+
+from conftest import task_graphs, weighted_dags_with_edges
+
+
+class TestLevelInvariants:
+    @given(g=task_graphs(min_tasks=1, max_tasks=14))
+    @settings(max_examples=80, deadline=None)
+    def test_tlevel_plus_blevel_bounded_by_cp(self, g):
+        tl = t_levels(g)
+        bl = b_levels(g)
+        cp = critical_path_length(g)
+        for t in g.tasks():
+            assert tl[t] + bl[t] <= cp + 1e-9
+        if g.n_tasks:
+            assert max(tl[t] + bl[t] for t in g.tasks()) == pytest.approx(cp)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=14))
+    @settings(max_examples=60, deadline=None)
+    def test_comm_free_levels_below_comm_levels(self, g):
+        with_comm = b_levels(g, communication=True)
+        without = b_levels(g, communication=False)
+        for t in g.tasks():
+            assert without[t] <= with_comm[t] + 1e-9
+
+
+class TestSimulatorInvariants:
+    @given(
+        g=task_graphs(min_tasks=1, max_tasks=12),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_assignment_simulates_validly(self, g, data):
+        n_procs = data.draw(st.integers(1, max(1, g.n_tasks)))
+        assignment = {
+            t: data.draw(st.integers(0, n_procs - 1), label=f"proc[{t}]")
+            for t in g.tasks()
+        }
+        s = simulate_clustering(g, assignment)
+        s.validate(g)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=12))
+    @settings(max_examples=40, deadline=None)
+    def test_serial_schedule_equals_serial_time(self, g):
+        s = serial_schedule(g)
+        assert s.makespan == pytest.approx(g.serial_time())
+        s.validate(g)
+
+    @given(g=task_graphs(min_tasks=2, max_tasks=12))
+    @settings(max_examples=40, deadline=None)
+    def test_single_cluster_assignment_beats_nothing(self, g):
+        """All-on-one-processor simulation never pays communication."""
+        s = simulate_clustering(g, {t: 0 for t in g.tasks()})
+        assert s.makespan == pytest.approx(g.serial_time())
+
+
+class TestDecompositionVsSchedulers:
+    @given(g=task_graphs(min_tasks=1, max_tasks=12))
+    @settings(max_examples=50, deadline=None)
+    def test_root_members_are_all_tasks(self, g):
+        tree = decompose(g)
+        assert tree.members == frozenset(g.tasks())
+
+    @given(g=task_graphs(min_tasks=2, max_tasks=12))
+    @settings(max_examples=50, deadline=None)
+    def test_linear_children_of_root_execute_in_order(self, g):
+        """For a LINEAR root, every member of child i is an ancestor of
+        every member of child i+1 (total order of co-components)."""
+        tree = decompose(g)
+        if tree.kind is not ClanKind.LINEAR:
+            return
+        for a, b in zip(tree.children, tree.children[1:]):
+            for x in a.members:
+                for y in b.members:
+                    assert y in g.descendants(x)
+
+
+class TestGenerationInvariants:
+    @given(
+        n=st.integers(5, 35),
+        anchor=st.integers(2, 4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_anchor_adjustment_preserves_dagness(self, n, anchor, seed):
+        rng = np.random.default_rng(seed)
+        g = sp_dag_from_tree(random_parse_tree(n, rng))
+        if g.n_edges == 0:
+            return
+        try:
+            adjust_anchor(g, anchor, rng)
+        except Exception:
+            return  # generation may legitimately fail; resampling is the API
+        g.validate()
+        assert anchor_out_degree(g) == anchor
+
+    @given(
+        target=st.floats(0.01, 10.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_assignment_hits_target_exactly(self, target, seed):
+        rng = np.random.default_rng(seed)
+        g = sp_dag_from_tree(random_parse_tree(20, rng))
+        if g.n_edges == 0:
+            return
+        assign_weights(g, rng, weight_range=(20, 100), target_granularity=target)
+        assert granularity(g) == pytest.approx(target, rel=1e-9)
+
+
+class TestSchedulerOrderings:
+    @given(g=weighted_dags_with_edges(min_tasks=3, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_serial_is_never_best_by_more_than_schedulers(self, g):
+        """Sanity: the best heuristic is never worse than 3x serial
+        (trivially true for CLANS, bounds group behaviour)."""
+        best = min(s.schedule(g).makespan for s in paper_schedulers())
+        assert best <= g.serial_time() + 1e-9  # CLANS guarantees this
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=30, deadline=None)
+    def test_processor_counts_bounded_by_tasks(self, g):
+        for sched in paper_schedulers():
+            s = sched.schedule(g)
+            assert 1 <= s.n_processors <= g.n_tasks

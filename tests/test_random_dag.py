@@ -1,0 +1,149 @@
+"""Tests for the random PDG pipeline (SP DAG, anchor, weights)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GenerationError, anchor_out_degree, granularity, granularity_band
+from repro.core.metrics import GRANULARITY_BANDS
+from repro.generation.parse_tree import SPKind, SPNode, random_parse_tree
+from repro.generation.random_dag import (
+    adjust_anchor,
+    assign_weights,
+    generate_pdg,
+    sample_target_granularity,
+    sp_dag_from_tree,
+)
+
+
+def leaf():
+    return SPNode(SPKind.LEAF)
+
+
+class TestSpDagFromTree:
+    def test_linear_chain(self):
+        tree = SPNode(SPKind.LINEAR, [leaf(), leaf(), leaf()])
+        g = sp_dag_from_tree(tree)
+        assert g.n_tasks == 3
+        assert g.n_edges == 2
+        assert g.sources() == [0] and g.sinks() == [2]
+
+    def test_independent_union(self):
+        tree = SPNode(SPKind.INDEPENDENT, [leaf(), leaf()])
+        g = sp_dag_from_tree(tree)
+        assert g.n_edges == 0
+        assert g.n_tasks == 2
+
+    def test_series_of_parallel_is_bipartite_join(self):
+        par = SPNode(SPKind.INDEPENDENT, [leaf(), leaf()])
+        par2 = SPNode(SPKind.INDEPENDENT, [leaf(), leaf()])
+        tree = SPNode(SPKind.LINEAR, [par, par2])
+        g = sp_dag_from_tree(tree)
+        assert g.n_edges == 4  # complete bipartite 2x2
+
+    def test_always_dag(self, rng):
+        for _ in range(20):
+            tree = random_parse_tree(25, rng)
+            g = sp_dag_from_tree(tree)
+            g.validate()
+            assert g.n_tasks == 25
+
+
+class TestAdjustAnchor:
+    @pytest.mark.parametrize("anchor", [2, 3, 4, 5])
+    def test_reaches_target(self, anchor, rng):
+        for _ in range(5):
+            g = sp_dag_from_tree(random_parse_tree(40, rng))
+            if g.n_edges == 0:
+                continue
+            adjust_anchor(g, anchor, rng)
+            assert anchor_out_degree(g) == anchor
+            g.validate()  # still a DAG
+
+    def test_bad_anchor(self, rng):
+        g = sp_dag_from_tree(random_parse_tree(10, rng))
+        with pytest.raises(GenerationError):
+            adjust_anchor(g, 0, rng)
+
+    def test_impossible_anchor_raises(self, rng):
+        # 3 nodes cannot host out-degree 5 anywhere
+        g = sp_dag_from_tree(
+            SPNode(SPKind.LINEAR, [leaf(), leaf(), leaf()])
+        )
+        with pytest.raises(GenerationError):
+            adjust_anchor(g, 5, rng)
+
+
+class TestAssignWeights:
+    def test_exact_granularity(self, rng):
+        g = sp_dag_from_tree(random_parse_tree(30, rng))
+        adjust_anchor(g, 3, rng)
+        assign_weights(g, rng, weight_range=(20, 100), target_granularity=0.5)
+        assert granularity(g) == pytest.approx(0.5, rel=1e-9)
+
+    def test_node_weights_in_range(self, rng):
+        g = sp_dag_from_tree(random_parse_tree(30, rng))
+        adjust_anchor(g, 2, rng)
+        assign_weights(g, rng, weight_range=(20, 100), target_granularity=1.0)
+        for t in g.tasks():
+            assert 20 <= g.weight(t) <= 100
+
+    def test_edge_weights_positive(self, rng):
+        g = sp_dag_from_tree(random_parse_tree(30, rng))
+        adjust_anchor(g, 2, rng)
+        assign_weights(g, rng, weight_range=(20, 100), target_granularity=0.05)
+        for u, v in g.edges():
+            assert g.edge_weight(u, v) > 0
+
+    def test_bad_ranges(self, rng):
+        g = sp_dag_from_tree(random_parse_tree(10, rng))
+        with pytest.raises(GenerationError):
+            assign_weights(g, rng, weight_range=(0, 10), target_granularity=1)
+        with pytest.raises(GenerationError):
+            assign_weights(g, rng, weight_range=(10, 5), target_granularity=1)
+        with pytest.raises(GenerationError):
+            assign_weights(g, rng, weight_range=(10, 20), target_granularity=0)
+
+
+class TestSampleTarget:
+    @pytest.mark.parametrize("band", range(5))
+    def test_within_band(self, band, rng):
+        lo, hi = GRANULARITY_BANDS[band]
+        for _ in range(50):
+            t = sample_target_granularity(band, rng)
+            assert lo <= t < hi
+
+    def test_bad_band(self, rng):
+        with pytest.raises(GenerationError):
+            sample_target_granularity(9, rng)
+
+
+class TestGeneratePdg:
+    @pytest.mark.parametrize("band", range(5))
+    def test_classification_met(self, band, rng):
+        g = generate_pdg(
+            rng, n_tasks=30, band=band, anchor=3, weight_range=(20, 100)
+        )
+        assert g.n_tasks == 30
+        assert granularity_band(granularity(g)) == band
+        assert anchor_out_degree(g) == 3
+        g.validate()
+
+    def test_deterministic(self):
+        a = generate_pdg(
+            np.random.default_rng(3), n_tasks=25, band=2, anchor=2,
+            weight_range=(20, 100),
+        )
+        b = generate_pdg(
+            np.random.default_rng(3), n_tasks=25, band=2, anchor=2,
+            weight_range=(20, 100),
+        )
+        assert a == b
+
+    def test_impossible_request_raises(self):
+        with pytest.raises(GenerationError):
+            generate_pdg(
+                np.random.default_rng(0), n_tasks=3, band=0, anchor=5,
+                weight_range=(20, 100), max_attempts=3,
+            )

@@ -1,0 +1,55 @@
+"""Unit tests for the ancestor/descendant relation matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TaskGraph
+from repro.clans.relations import ABOVE, BELOW, UNRELATED, RelationMatrix
+
+
+class TestRelationMatrix:
+    def test_chain(self, chain5):
+        rm = RelationMatrix(chain5)
+        assert rm.rel(0, 4) == ABOVE
+        assert rm.rel(4, 0) == BELOW
+        assert rm.rel(2, 2) == UNRELATED  # irreflexive
+        assert rm.is_ancestor(0, 4)
+        assert not rm.is_ancestor(4, 0)
+
+    def test_diamond(self, diamond):
+        rm = RelationMatrix(diamond)
+        assert rm.rel("b", "c") == UNRELATED
+        assert rm.rel("a", "d") == ABOVE  # transitive
+        assert rm.rel("d", "b") == BELOW
+
+    def test_matrix_antisymmetry(self, paper_example):
+        rm = RelationMatrix(paper_example)
+        m = rm.matrix
+        above = m == ABOVE
+        below = m == BELOW
+        assert np.array_equal(above, below.T)
+        assert not np.any(above & above.T)
+
+    def test_tasks_in_topological_order(self, paper_example):
+        rm = RelationMatrix(paper_example)
+        for i, u in enumerate(rm.tasks):
+            for j in range(i):
+                assert not rm.is_ancestor(u, rm.tasks[j])
+
+    def test_comparable_idx(self, diamond):
+        rm = RelationMatrix(diamond)
+        i, j = rm.index["b"], rm.index["c"]
+        assert not rm.comparable_idx(i, j)
+        assert rm.comparable_idx(rm.index["a"], rm.index["d"])
+
+    def test_disconnected(self):
+        g = TaskGraph()
+        g.add_task("x", 1)
+        g.add_task("y", 1)
+        rm = RelationMatrix(g)
+        assert rm.rel("x", "y") == UNRELATED
+
+    def test_single(self, single):
+        rm = RelationMatrix(single)
+        assert rm.n == 1

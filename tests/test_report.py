@@ -1,0 +1,42 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import full_report, render_report
+from repro.experiments.runner import run_suite
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    cells = [SuiteCell(0, 2, (20, 100)), SuiteCell(4, 3, (20, 200))]
+    suite = generate_suite(graphs_per_cell=2, cells=cells, n_tasks_range=(12, 18))
+    return run_suite(list(suite))
+
+
+class TestRenderReport:
+    def test_contains_all_tables_and_figures(self, small_results):
+        text = render_report(small_results)
+        for tid in range(1, 12):
+            assert f"## Table {tid}" in text
+        for fid in range(1, 7):
+            assert f"## Figure {fid}" in text
+
+    def test_title_and_counts(self, small_results):
+        text = render_report(small_results, title="My Report")
+        assert text.startswith("# My Report")
+        assert f"**{len(small_results)}**" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_report([])
+
+
+class TestFullReport:
+    def test_end_to_end(self):
+        text = full_report(graphs_per_cell=1, n_tasks_range=(10, 14))
+        assert "## Table 2" in text
+        assert "CLANS" in text
+        assert "60 graphs" in text

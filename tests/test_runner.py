@@ -1,0 +1,60 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import get_scheduler
+from repro.experiments.runner import PAPER_HEURISTIC_ORDER, evaluate_graph, run_suite
+from repro.generation.suites import SuiteCell, generate_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    cells = [SuiteCell(0, 2, (20, 100)), SuiteCell(4, 3, (20, 100))]
+    return list(generate_suite(graphs_per_cell=2, cells=cells, n_tasks_range=(15, 25)))
+
+
+class TestEvaluateGraph:
+    def test_all_heuristics_present(self, paper_example):
+        out = evaluate_graph(paper_example, [get_scheduler(n) for n in PAPER_HEURISTIC_ORDER])
+        assert set(out) == set(PAPER_HEURISTIC_ORDER)
+        for r in out.values():
+            assert r.parallel_time > 0
+            assert r.n_processors >= 1
+
+    def test_validation_flag(self, paper_example):
+        # just exercises the validate path; all real schedules must pass
+        evaluate_graph(paper_example, [get_scheduler("DSC")], validate=True)
+
+    def test_known_values(self, paper_example):
+        out = evaluate_graph(paper_example, [get_scheduler("CLANS")])
+        assert out["CLANS"].parallel_time == pytest.approx(130.0)
+        assert out["CLANS"].n_processors == 2
+
+
+class TestRunSuite:
+    def test_produces_one_result_per_graph(self, small_suite):
+        results = run_suite(small_suite)
+        assert len(results) == len(small_suite)
+        for gr in results:
+            assert set(gr.results) == set(PAPER_HEURISTIC_ORDER)
+
+    def test_classification_carried(self, small_suite):
+        results = run_suite(small_suite)
+        bands = {gr.band for gr in results}
+        assert bands == {0, 4}
+        for gr in results:
+            assert gr.serial_time > 0
+            assert gr.granularity > 0
+
+    def test_progress_callback(self, small_suite):
+        seen = []
+        run_suite(small_suite, progress=lambda i, gr: seen.append(i))
+        assert seen == list(range(1, len(small_suite) + 1))
+
+    def test_custom_scheduler_list(self, small_suite):
+        results = run_suite(small_suite, [get_scheduler("SERIAL")])
+        for gr in results:
+            assert set(gr.results) == {"SERIAL"}
+            assert gr.results["SERIAL"].parallel_time == pytest.approx(gr.serial_time)

@@ -1,0 +1,203 @@
+"""Unit tests for the schedule model and its validation (paper section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Schedule, ScheduledTask, ScheduleError, TaskGraph
+
+
+@pytest.fixture
+def ab_graph():
+    g = TaskGraph()
+    g.add_task("a", 10)
+    g.add_task("b", 20)
+    g.add_edge("a", "b", 5)
+    return g
+
+
+class TestScheduledTask:
+    def test_fields(self):
+        st = ScheduledTask("a", 0, 1.0, 3.0)
+        assert st.finish == 3.0
+
+    def test_negative_processor(self):
+        with pytest.raises(ScheduleError):
+            ScheduledTask("a", -1, 0.0, 1.0)
+
+    def test_negative_start(self):
+        with pytest.raises(ScheduleError):
+            ScheduledTask("a", 0, -1.0, 1.0)
+
+    def test_finish_before_start(self):
+        with pytest.raises(ScheduleError):
+            ScheduledTask("a", 0, 5.0, 1.0)
+
+
+class TestScheduleBasics:
+    def test_place_and_query(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 15.0, 20.0)
+        assert s.processor_of("a") == 0
+        assert s.start("b") == 15.0
+        assert s.finish("b") == 35.0
+        assert s.makespan == 35.0
+        assert s.n_processors == 2
+        assert len(s) == 2
+        assert "a" in s
+
+    def test_duplication_forbidden(self):
+        s = Schedule()
+        s.place("a", 0, 0.0, 1.0)
+        with pytest.raises(ScheduleError):
+            s.place("a", 1, 5.0, 1.0)
+
+    def test_missing_task_lookup(self):
+        with pytest.raises(ScheduleError):
+            Schedule()["nope"]
+
+    def test_empty_makespan(self):
+        assert Schedule().makespan == 0.0
+
+    def test_tasks_on_sorted(self):
+        s = Schedule()
+        s.place("b", 0, 10.0, 5.0)
+        s.place("a", 0, 0.0, 5.0)
+        assert [p.task for p in s.tasks_on(0)] == ["a", "b"]
+
+    def test_clusters(self):
+        s = Schedule()
+        s.place("a", 0, 0.0, 5.0)
+        s.place("b", 2, 0.0, 5.0)
+        s.place("c", 0, 5.0, 5.0)
+        assert s.clusters() == [["a", "c"], ["b"]]
+
+
+class TestValidation:
+    def test_valid_two_proc(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 15.0, 20.0)  # 10 finish + 5 comm
+        s.validate(ab_graph)
+        assert s.is_valid(ab_graph)
+
+    def test_valid_same_proc_no_comm(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 0, 10.0, 20.0)
+        s.validate(ab_graph)
+
+    def test_comm_violation(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 12.0, 20.0)  # message lands at 15
+        with pytest.raises(ScheduleError, match="arrives"):
+            s.validate(ab_graph)
+
+    def test_precedence_violation_same_proc(self, ab_graph):
+        s = Schedule()
+        s.place("b", 0, 0.0, 20.0)
+        s.place("a", 0, 20.0, 10.0)
+        with pytest.raises(ScheduleError):
+            s.validate(ab_graph)
+
+    def test_overlap_detected(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 0, 5.0, 10.0)
+        with pytest.raises(ScheduleError, match="overlap"):
+            s.validate(g)
+
+    def test_missing_task(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        with pytest.raises(ScheduleError, match="mismatch"):
+            s.validate(ab_graph)
+
+    def test_extra_task(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 0, 10.0, 20.0)
+        s.place("ghost", 1, 0.0, 1.0)
+        with pytest.raises(ScheduleError, match="mismatch"):
+            s.validate(ab_graph)
+
+    def test_wrong_duration(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 11.0)
+        s.place("b", 0, 11.0, 20.0)
+        with pytest.raises(ScheduleError, match="weight"):
+            s.validate(ab_graph)
+
+    def test_is_valid_false(self, ab_graph):
+        assert not Schedule().is_valid(ab_graph)
+
+
+class TestMeasures:
+    def test_speedup_efficiency(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 0, 10.0, 20.0)
+        assert s.speedup(ab_graph) == pytest.approx(1.0)
+        assert s.efficiency(ab_graph) == pytest.approx(1.0)
+
+    def test_speedup_parallel(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        g.add_task("b", 10)
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 0.0, 10.0)
+        assert s.speedup(g) == pytest.approx(2.0)
+        assert s.efficiency(g) == pytest.approx(1.0)
+
+    def test_busy_fraction(self):
+        g = TaskGraph()
+        g.add_task("a", 10)
+        s = Schedule()
+        s.place("a", 0, 10.0, 10.0)
+        assert s.busy_fraction() == pytest.approx(0.5)
+
+    def test_busy_fraction_empty(self):
+        assert Schedule().busy_fraction() == 0.0
+
+
+class TestGantt:
+    def test_contains_processors(self):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 0.0, 10.0)
+        txt = s.to_gantt()
+        assert "P0" in txt and "P1" in txt
+
+    def test_empty(self):
+        assert "empty" in Schedule().to_gantt()
+
+    def test_repr(self):
+        s = Schedule()
+        s.place("a", 0, 0.0, 2.0)
+        assert "makespan=2" in repr(s)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place(("t", 1), 1, 5.0, 3.0)
+        import json
+
+        back = Schedule.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert back.makespan == s.makespan
+        assert back.processor_of(("t", 1)) == 1
+        assert back.start("a") == 0.0
+
+    def test_round_trip_preserves_validity(self, ab_graph):
+        s = Schedule()
+        s.place("a", 0, 0.0, 10.0)
+        s.place("b", 1, 15.0, 20.0)
+        back = Schedule.from_dict(s.to_dict())
+        back.validate(ab_graph)

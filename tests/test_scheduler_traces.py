@@ -1,0 +1,177 @@
+"""Exact-trace tests: hand-computed schedules on crafted graphs.
+
+These pin each heuristic's *mechanics* — not just validity — by verifying
+start times and placements against hand derivations on graphs small enough
+to trace on paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DSCScheduler,
+    HuScheduler,
+    MCPScheduler,
+    MHScheduler,
+    TaskGraph,
+)
+from repro.core.analysis import alap_times
+
+
+def build(nodes, edges):
+    g = TaskGraph()
+    for t, w in nodes:
+        g.add_task(t, w)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestDSCTrace:
+    def test_join_trace(self):
+        """a(20) and b(5) feed j(10) with comms 8/8.
+
+        b is free first? No — DSC picks by priority (startbound + blevel):
+        a: 0 + (20 + 8 + 10) = 38; b: 0 + (5 + 8 + 10) = 23 -> a first, new
+        cluster, start 0.  b next: no scheduled parent clusters -> new
+        cluster, start 0.  j: startbound = max(20+8, 5+8) = 28; on a's
+        cluster: max(avail 20, arr_a 20, arr_b 13) = 20 <= 28 -> merge;
+        start 20, makespan 30.
+        """
+        g = build(
+            [("a", 20), ("b", 5), ("j", 10)],
+            [("a", "j", 8), ("b", "j", 8)],
+        )
+        s = DSCScheduler().schedule(g)
+        assert s.start("a") == 0.0
+        assert s.start("b") == 0.0
+        assert s.processor_of("j") == s.processor_of("a")
+        assert s.start("j") == 20.0
+        assert s.makespan == 30.0
+
+    def test_ct1_rejects_useless_merge(self):
+        """fork a -> {b, c}, cheap comm: after b occupies a's cluster, c's
+        merged start (20) exceeds its startbound (11) -> CT1 rejects, c
+        goes to a fresh cluster at 11."""
+        g = build(
+            [("a", 10), ("b", 10), ("c", 10)],
+            [("a", "b", 1), ("a", "c", 1)],
+        )
+        s = DSCScheduler().schedule(g)
+        assert s.processor_of("b") == s.processor_of("a")
+        assert s.start("b") == 10.0
+        assert s.processor_of("c") != s.processor_of("a")
+        assert s.start("c") == 11.0
+
+    def test_higher_blevel_branch_merges_first(self):
+        """Of two fork branches the one with the larger b-level has higher
+        priority and claims the parent's cluster (zero wait)."""
+        g = build(
+            [("a", 10), ("short", 5), ("long", 50)],
+            [("a", "short", 3), ("a", "long", 3)],
+        )
+        s = DSCScheduler().schedule(g)
+        assert s.processor_of("long") == s.processor_of("a")
+        assert s.start("long") == 10.0
+        assert s.start("short") == 13.0  # fresh cluster, pays the message
+
+
+class TestMCPTrace:
+    def test_alap_values(self):
+        """Chain x(10) -> y(20), comm 5: CP = 35; ALAP(x) = 0, ALAP(y) = 15."""
+        g = build([("x", 10), ("y", 20)], [("x", "y", 5)])
+        alap = alap_times(g)
+        assert alap["x"] == 0.0
+        assert alap["y"] == 15.0
+
+    def test_placement_trace(self):
+        """fork a(10) -> b(30)/c(10), comms 4/4.
+
+        ALAPs: CP = 10+4+30 = 44; a: 0, b: 14, c: 34.  Order a, b, c.
+        a -> P0 @0.  b: P0 @10 vs fresh @14 -> P0 @10.  c: P0 @40 vs fresh
+        @14 -> fresh @14.  Makespan 40.
+        """
+        g = build(
+            [("a", 10), ("b", 30), ("c", 10)],
+            [("a", "b", 4), ("a", "c", 4)],
+        )
+        s = MCPScheduler().schedule(g)
+        assert s.processor_of("b") == s.processor_of("a")
+        assert s.start("b") == 10.0
+        assert s.processor_of("c") != s.processor_of("a")
+        assert s.start("c") == 14.0
+        assert s.makespan == 40.0
+
+    def test_insertion_uses_gap_trace(self):
+        """P0 ends up with a gap [10, 35] while waiting for a remote
+        message; a later unrelated task slides into it."""
+        g = build(
+            [("a", 10), ("m", 20), ("b", 10), ("z", 5)],
+            [("a", "m", 1), ("m", "b", 25), ("a", "z", 40)],
+        )
+        s = MCPScheduler(insertion=True).schedule(g)
+        s.validate(g)
+        # z's ALAP is late; it is scheduled last and must not delay b
+        b_finish_order = s.finish("b")
+        s2 = MCPScheduler(insertion=False).schedule(g)
+        assert s.makespan <= s2.makespan + 1e-9
+        assert s.finish("b") == b_finish_order
+
+
+class TestMHTrace:
+    def test_fork_trace(self):
+        """Same fork as MCP: MH's levels order b (34+... ) before c."""
+        g = build(
+            [("a", 10), ("b", 30), ("c", 10)],
+            [("a", "b", 4), ("a", "c", 4)],
+        )
+        s = MHScheduler().schedule(g)
+        assert s.start("b") == 10.0  # stays with a
+        assert s.start("c") == 14.0  # fresh processor, pays comm
+        assert s.makespan == 40.0
+
+    def test_wave_priority_order_within_wave(self):
+        """Three sources of different levels all start at 0 on their own
+        processors (EST ties), in any order — but the event wave then
+        releases children grouped, highest level first."""
+        g = build(
+            [("s1", 10), ("s2", 10), ("k1", 30), ("k2", 5)],
+            [("s1", "k1", 2), ("s2", "k2", 2)],
+        )
+        s = MHScheduler().schedule(g)
+        s.validate(g)
+        assert s.start("s1") == 0.0 and s.start("s2") == 0.0
+        # children stay with their parents (2 < sibling wait)
+        assert s.processor_of("k1") == s.processor_of("s1")
+        assert s.processor_of("k2") == s.processor_of("s2")
+
+
+class TestHUTrace:
+    def test_chain_scatter_trace(self):
+        """x(10) -> y(10), comm 7: HU puts y on a fresh processor (free at
+        0 < x's 10) and pays the message: start 17."""
+        g = build([("x", 10), ("y", 10)], [("x", "y", 7)])
+        s = HuScheduler().schedule(g)
+        assert s.processor_of("y") != s.processor_of("x")
+        assert s.start("y") == 17.0
+
+    def test_bounded_hu_behaves(self):
+        """With the pool capped at 1, HU collapses to serial order."""
+        g = build([("x", 10), ("y", 10)], [("x", "y", 7)])
+        s = HuScheduler(max_processors=1).schedule(g)
+        assert s.n_processors == 1
+        assert s.makespan == 20.0
+
+
+class TestSimulatorOrderingEffects:
+    def test_priority_decides_intra_cluster_order(self):
+        """Two independent tasks in one cluster: the higher-priority one
+        runs first under simulate_clustering."""
+        from repro.core.simulator import simulate_clustering
+
+        g = build([("p", 10), ("q", 10)], [])
+        first = simulate_clustering(g, {"p": 0, "q": 0}, priority={"p": 2, "q": 1})
+        assert first.start("p") == 0.0 and first.start("q") == 10.0
+        second = simulate_clustering(g, {"p": 0, "q": 0}, priority={"p": 1, "q": 2})
+        assert second.start("q") == 0.0 and second.start("p") == 10.0

@@ -1,0 +1,116 @@
+"""Cross-cutting scheduler tests: every heuristic, shared contracts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro import (
+    GraphError,
+    TaskGraph,
+    get_scheduler,
+    paper_schedulers,
+)
+from repro.core.analysis import critical_path_length
+from repro.schedulers import SCHEDULER_REGISTRY
+
+from conftest import task_graphs
+
+ALL_NAMES = ["CLANS", "DSC", "MCP", "MH", "HU", "ETF", "SERIAL"]
+
+
+@pytest.fixture(params=ALL_NAMES)
+def scheduler(request):
+    return get_scheduler(request.param)
+
+
+class TestRegistry:
+    def test_paper_schedulers_order(self):
+        names = [s.name for s in paper_schedulers()]
+        assert names == ["CLANS", "DSC", "MCP", "MH", "HU"]
+
+    def test_lookup_case_insensitive(self):
+        assert get_scheduler("clans").name == "CLANS"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            get_scheduler("NOPE")
+
+    def test_registry_contents(self):
+        for name in ALL_NAMES + ["OPT"]:
+            assert name in SCHEDULER_REGISTRY
+
+    def test_repr(self):
+        assert "DSCScheduler" in repr(get_scheduler("DSC"))
+
+
+class TestSharedContract:
+    def test_empty_graph_rejected(self, scheduler):
+        with pytest.raises(GraphError):
+            scheduler.schedule(TaskGraph())
+
+    def test_single_task(self, scheduler, single):
+        s = scheduler.schedule(single)
+        s.validate(single)
+        assert s.makespan == 7.0
+        assert s.n_processors == 1
+
+    @pytest.mark.parametrize(
+        "fixture", ["paper_example", "diamond", "chain5", "two_sources_join", "wide_fork"]
+    )
+    def test_valid_on_zoo(self, scheduler, fixture, request):
+        g = request.getfixturevalue(fixture)
+        s = scheduler.schedule(g)
+        s.validate(g)
+
+    def test_deterministic(self, scheduler, paper_example):
+        a = scheduler.schedule(paper_example)
+        b = scheduler.schedule(paper_example)
+        assert a.makespan == b.makespan
+        for t in paper_example.tasks():
+            assert a[t] == b[t]
+
+    def test_zero_weight_tasks_ok(self, scheduler):
+        g = TaskGraph()
+        g.add_task("a", 0)
+        g.add_task("b", 5)
+        g.add_edge("a", "b", 2)
+        s = scheduler.schedule(g)
+        s.validate(g)
+
+    def test_disconnected_components(self, scheduler):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(i, 10)
+        g.add_edge(0, 1, 3)
+        g.add_edge(2, 3, 3)
+        s = scheduler.schedule(g)
+        s.validate(g)
+
+    def test_input_graph_not_mutated(self, scheduler, paper_example):
+        before = paper_example.copy()
+        scheduler.schedule(paper_example)
+        assert paper_example == before
+
+
+class TestPropertyAllSchedulers:
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=50, deadline=None)
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_always_valid(self, name, g):
+        s = get_scheduler(name).schedule(g)
+        s.validate(g)
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=40, deadline=None)
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_makespan_at_least_comm_free_cp(self, name, g):
+        """No schedule can beat the communication-free critical path."""
+        s = get_scheduler(name).schedule(g)
+        assert s.makespan >= critical_path_length(g, communication=False) - 1e-9
+
+    @given(g=task_graphs(min_tasks=1, max_tasks=10))
+    @settings(max_examples=40, deadline=None)
+    def test_clans_never_retards(self, g):
+        s = get_scheduler("CLANS").schedule(g)
+        assert s.makespan <= g.serial_time() + 1e-9

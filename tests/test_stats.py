@@ -1,0 +1,76 @@
+"""Tests for the statistics module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError, TaskGraph, get_scheduler, serial_schedule
+from repro.core.stats import graph_stats, schedule_stats
+
+
+class TestGraphStats:
+    def test_chain(self, chain5):
+        st = graph_stats(chain5)
+        assert st.n_tasks == 5
+        assert st.n_edges == 4
+        assert st.n_sources == 1 and st.n_sinks == 1
+        assert st.height == 5
+        assert st.width == 1
+        assert st.inherent_parallelism == pytest.approx(1.0)
+        assert st.total_comm == pytest.approx(12.0)
+        assert st.comm_to_comp == pytest.approx(12.0 / 50.0)
+        assert st.out_degree_distribution == {0: 1, 1: 4}
+
+    def test_diamond(self, diamond):
+        st = graph_stats(diamond)
+        assert st.height == 3
+        assert st.width == 2
+        assert st.inherent_parallelism == pytest.approx(40.0 / 30.0)
+        assert st.cp_length == pytest.approx(38.0)
+        assert st.cp_length_comm_free == pytest.approx(30.0)
+
+    def test_summary_text(self, paper_example):
+        txt = graph_stats(paper_example).summary()
+        assert "5 tasks" in txt
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            graph_stats(TaskGraph())
+
+
+class TestScheduleStats:
+    def test_serial(self, paper_example):
+        s = serial_schedule(paper_example)
+        st = schedule_stats(paper_example, s)
+        assert st.n_processors == 1
+        assert st.speedup == pytest.approx(1.0)
+        assert st.mean_busy_fraction == pytest.approx(1.0)
+        assert st.load_imbalance == pytest.approx(1.0)
+        assert st.crossing_edges == 0
+        assert st.crossing_comm == 0.0
+        assert st.comm_fraction == 0.0
+
+    def test_clans_example(self, paper_example):
+        s = get_scheduler("CLANS").schedule(paper_example)
+        st = schedule_stats(paper_example, s)
+        assert st.makespan == pytest.approx(130.0)
+        assert st.n_processors == 2
+        # node 2 sits apart: edges 1->2 and 2->5 cross
+        assert st.crossing_edges == 2
+        assert st.crossing_comm == pytest.approx(9.0)
+        assert 0 < st.comm_fraction < 1
+
+    def test_invalid_schedule_rejected(self, paper_example, diamond):
+        s = serial_schedule(diamond)
+        with pytest.raises(Exception):
+            schedule_stats(paper_example, s)
+
+    def test_busy_bounds(self, wide_fork):
+        s = get_scheduler("MH").schedule(wide_fork)
+        st = schedule_stats(wide_fork, s)
+        assert 0 < st.min_busy_fraction <= st.mean_busy_fraction
+        assert st.mean_busy_fraction <= st.max_busy_fraction <= 1.0
+
+    def test_summary_text(self, paper_example):
+        s = serial_schedule(paper_example)
+        assert "makespan" in schedule_stats(paper_example, s).summary()

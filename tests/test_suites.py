@@ -1,0 +1,108 @@
+"""Tests for the Table-1 suite generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import anchor_out_degree, granularity_band, granularity, node_weight_range
+from repro.generation.suites import (
+    PAPER_ANCHORS,
+    PAPER_GRAPHS_PER_CELL,
+    PAPER_WEIGHT_RANGES,
+    SuiteCell,
+    band_label,
+    generate_suite,
+    suite_cells,
+    weight_range_label,
+)
+
+
+class TestCells:
+    def test_sixty_cells(self):
+        cells = suite_cells()
+        assert len(cells) == 60
+        assert len(set(cells)) == 60
+
+    def test_full_suite_is_2100(self):
+        assert 60 * PAPER_GRAPHS_PER_CELL == 2100
+
+    def test_cell_fields(self):
+        c = suite_cells()[0]
+        assert c.band == 0
+        assert c.anchor in PAPER_ANCHORS
+        assert c.weight_range in PAPER_WEIGHT_RANGES
+
+    def test_bad_band_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteCell(band=7, anchor=2, weight_range=(20, 100))
+
+    def test_labels(self):
+        assert band_label(0) == "G < 0.08"
+        assert weight_range_label((20, 100)) == "20 - 100"
+        assert "anchor 2" in SuiteCell(0, 2, (20, 100)).label
+
+
+class TestGeneration:
+    def test_graphs_match_their_cell(self):
+        cells = [SuiteCell(1, 3, (20, 200)), SuiteCell(4, 2, (20, 100))]
+        for sg in generate_suite(graphs_per_cell=2, cells=cells,
+                                 n_tasks_range=(20, 30)):
+            assert granularity_band(granularity(sg.graph)) == sg.cell.band
+            assert anchor_out_degree(sg.graph) == sg.cell.anchor
+            lo, hi = node_weight_range(sg.graph)
+            assert sg.cell.weight_range[0] <= lo
+            assert hi <= sg.cell.weight_range[1]
+            sg.graph.validate()
+
+    def test_sizes_in_range(self):
+        cells = [SuiteCell(2, 2, (20, 100))]
+        for sg in generate_suite(graphs_per_cell=3, cells=cells,
+                                 n_tasks_range=(18, 22)):
+            assert 18 <= sg.graph.n_tasks <= 22
+
+    def test_reproducible(self):
+        cells = [SuiteCell(2, 3, (20, 100))]
+        a = [sg.graph for sg in generate_suite(graphs_per_cell=2, cells=cells,
+                                               n_tasks_range=(15, 20))]
+        b = [sg.graph for sg in generate_suite(graphs_per_cell=2, cells=cells,
+                                               n_tasks_range=(15, 20))]
+        assert a == b
+
+    def test_cells_independent_of_selection(self):
+        """A cell's graphs are identical whether generated alone or with
+        other cells (per-cell child seeds)."""
+        target = SuiteCell(3, 4, (20, 200))
+        other = SuiteCell(0, 2, (20, 100))
+        alone = [
+            sg.graph
+            for sg in generate_suite(graphs_per_cell=1, cells=[target],
+                                     n_tasks_range=(15, 20))
+        ]
+        together = [
+            sg.graph
+            for sg in generate_suite(graphs_per_cell=1, cells=[other, target],
+                                     n_tasks_range=(15, 20))
+            if sg.cell == target
+        ]
+        assert alone == together
+
+    def test_different_seed_different_graphs(self):
+        cells = [SuiteCell(2, 3, (20, 100))]
+        a = next(iter(generate_suite(graphs_per_cell=1, cells=cells, seed=1,
+                                     n_tasks_range=(15, 20)))).graph
+        b = next(iter(generate_suite(graphs_per_cell=1, cells=cells, seed=2,
+                                     n_tasks_range=(15, 20)))).graph
+        assert a != b
+
+    def test_graph_id_encodes_cell(self):
+        sg = next(iter(generate_suite(
+            graphs_per_cell=1, cells=[SuiteCell(1, 5, (20, 400))],
+            n_tasks_range=(15, 20),
+        )))
+        assert sg.graph_id == "b1-a5-w20_400-#0"
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            list(generate_suite(graphs_per_cell=0))
+        with pytest.raises(ValueError):
+            list(generate_suite(graphs_per_cell=1, n_tasks_range=(1, 1)))

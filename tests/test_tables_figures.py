@@ -1,0 +1,172 @@
+"""Tests for table/figure regeneration from synthetic results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import ALL_FIGURES, figure1, figure2
+from repro.experiments.measures import GraphResult, HeuristicResult
+from repro.experiments.reporting import ResultTable, ascii_chart
+from repro.experiments.tables import (
+    ALL_TABLES,
+    table1,
+    table2,
+    table3,
+    table4,
+    table6,
+    table10,
+)
+
+NAMES = ("CLANS", "DSC", "MCP", "MH", "HU")
+
+
+def synth_results():
+    """Two graphs in each of two bands/anchors/ranges with fixed times."""
+    out = []
+    base = {"CLANS": 100.0, "DSC": 110.0, "MCP": 120.0, "MH": 130.0, "HU": 400.0}
+    for i, (band, anchor, wr) in enumerate(
+        [(0, 2, (20, 100)), (0, 2, (20, 100)), (4, 5, (20, 400)), (4, 5, (20, 400))]
+    ):
+        # band-0 graphs: serial 200, so HU (400) retards; band-4 graphs:
+        # serial 800, nothing retards.
+        out.append(
+            GraphResult(
+                graph_id=f"g{i}",
+                band=band,
+                anchor=anchor,
+                weight_range=wr,
+                granularity=0.05 if band == 0 else 3.0,
+                serial_time=200.0 if band == 0 else 800.0,
+                results={
+                    n: HeuristicResult(parallel_time=t, n_processors=2)
+                    for n, t in base.items()
+                },
+            )
+        )
+    return out
+
+
+class TestResultTable:
+    def test_add_and_lookup(self):
+        t = ResultTable("T", "Row", ["A", "B"])
+        t.add_row("r1", [1.0, 2.0])
+        assert t.value("r1", "B") == 2.0
+        assert t.column("A") == [1.0]
+
+    def test_row_length_checked(self):
+        t = ResultTable("T", "Row", ["A", "B"])
+        with pytest.raises(ValueError):
+            t.add_row("r1", [1.0])
+
+    def test_missing_row(self):
+        t = ResultTable("T", "Row", ["A"])
+        with pytest.raises(KeyError):
+            t.value("nope", "A")
+
+    def test_text_contains_everything(self):
+        t = ResultTable("My Title", "Class", ["A"])
+        t.add_row("row-x", [3.25])
+        txt = t.to_text()
+        assert "My Title" in txt
+        assert "row-x" in txt
+        assert "3.25" in txt
+
+    def test_csv(self):
+        t = ResultTable("T", "Class", ["A", "B"])
+        t.add_row("r", [1.5, 2.0])
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "Class,A,B"
+        assert "r,1.5,2.0" in csv
+
+
+class TestTables:
+    def test_table2_counts_retardations(self):
+        t = table2(synth_results())
+        # HU at 400 > serial 200 retards both band-0 graphs
+        assert t.value("G < 0.08", "HU") == 2.0
+        assert t.value("G < 0.08", "CLANS") == 0.0
+
+    def test_table3_nrpt(self):
+        t = table3(synth_results())
+        assert t.value("G < 0.08", "CLANS") == pytest.approx(0.0)
+        assert t.value("G < 0.08", "HU") == pytest.approx(3.0)
+
+    def test_table4_speedup(self):
+        t = table4(synth_results())
+        assert t.value("2 < G", "CLANS") == pytest.approx(8.0)  # 800 / 100
+        assert t.value("G < 0.08", "CLANS") == pytest.approx(2.0)
+
+    def test_table6_weight_ranges(self):
+        t = table6(synth_results())
+        assert t.value("20 - 100", "HU") == 2.0
+        assert t.value("20 - 400", "HU") == 0.0  # band-4 rows don't retard
+
+    def test_table10_anchor_rows(self):
+        t = table10(synth_results())
+        assert t.value("A = 2", "HU") == 2.0
+        assert t.value("A = 5", "HU") == 0.0
+
+    def test_table1_counts(self):
+        t = table1(synth_results())
+        assert t.value("G < 0.08", "ANCHOR 2") == 2.0
+        assert t.value("2 < G", "ANCHOR 5") == 2.0
+        assert t.value("0.8 < G < 2", "ANCHOR 2") == 0.0
+
+    def test_column_order_is_paper_order(self):
+        t = table2(synth_results())
+        assert list(t.col_labels) == list(NAMES)
+
+    def test_all_tables_render(self):
+        results = synth_results()
+        for tid, fn in ALL_TABLES.items():
+            txt = fn(results).to_text()
+            assert f"Table {tid}" in txt
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            table2([])
+
+
+class TestFigures:
+    def test_figure_series_match_tables(self):
+        results = synth_results()
+        fig = figure1(results)
+        t = table3(results)
+        for name in NAMES:
+            assert fig.series[name] == t.column(name)
+
+    def test_figure_text_and_csv(self):
+        fig = figure2(synth_results())
+        txt = fig.to_text()
+        assert "Figure 2" in txt
+        csv = fig.to_csv()
+        assert csv.splitlines()[0].startswith("granularity,")
+
+    def test_all_figures_render(self):
+        results = synth_results()
+        for fid, fn in ALL_FIGURES.items():
+            assert f"Figure {fid}" in fn(results).to_text()
+
+
+class TestAsciiChart:
+    def test_symbols_present(self):
+        txt = ascii_chart("T", ["x1", "x2"], {"AA": [0.0, 1.0], "BB": [1.0, 0.0]})
+        assert "A=AA" in txt and "B=BB" in txt
+        assert "x1" in txt
+
+    def test_flat_series(self):
+        txt = ascii_chart("T", ["x"], {"A": [5.0]})
+        assert "T" in txt
+
+    def test_empty(self):
+        assert ascii_chart("T", [], {}) == "T"
+
+
+class TestProcessorsTable:
+    def test_values(self):
+        from repro.experiments.tables import table_processors
+
+        t = table_processors(synth_results())
+        # every synthetic result uses 2 processors
+        assert t.value("G < 0.08", "CLANS") == pytest.approx(2.0)
+        assert t.value("2 < G", "HU") == pytest.approx(2.0)

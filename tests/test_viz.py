@@ -1,0 +1,61 @@
+"""Tests for the visualization exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro import Schedule, get_scheduler
+from repro.clans import decompose
+from repro.viz import clan_tree_to_dot, schedule_to_svg, schedule_to_trace
+
+
+class TestSvg:
+    def test_well_formed(self, paper_example):
+        s = get_scheduler("CLANS").schedule(paper_example)
+        svg = schedule_to_svg(s)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= paper_example.n_tasks
+        assert "P0" in svg and "P1" in svg
+
+    def test_empty(self):
+        svg = schedule_to_svg(Schedule())
+        assert svg.startswith("<svg")
+
+    def test_task_labels_escaped(self):
+        s = Schedule()
+        s.place("<evil>", 0, 0.0, 100.0)
+        svg = schedule_to_svg(s)
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+
+class TestTrace:
+    def test_trace_events(self, paper_example):
+        s = get_scheduler("DSC").schedule(paper_example)
+        data = json.loads(schedule_to_trace(s))
+        events = data["traceEvents"]
+        assert len(events) == paper_example.n_tasks
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["dur"] >= 0
+        tids = {ev["tid"] for ev in events}
+        assert tids == set(s.processors)
+
+    def test_durations_scaled(self, single):
+        s = get_scheduler("SERIAL").schedule(single)
+        data = json.loads(schedule_to_trace(s))
+        assert data["traceEvents"][0]["dur"] == 7000.0
+
+
+class TestClanDot:
+    def test_contains_all_kinds(self, paper_example):
+        dot = clan_tree_to_dot(decompose(paper_example))
+        assert dot.startswith("digraph")
+        assert "LINEAR" in dot
+        assert "INDEPENDENT" in dot
+        assert dot.count("->") == 7  # children: 3 (root) + 2 (C2) + 2 (C1)
+
+    def test_leaf_labels(self, single):
+        dot = clan_tree_to_dot(decompose(single))
+        assert "'only'" in dot or "only" in dot

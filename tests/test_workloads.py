@@ -1,0 +1,155 @@
+"""Tests for the structured workload factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GenerationError
+from repro.generation import workloads as w
+
+
+class TestChain:
+    def test_structure(self):
+        g = w.chain(4, comp=3, comm=1)
+        assert g.n_tasks == 4
+        assert g.n_edges == 3
+        assert g.serial_time() == 12.0
+
+    def test_bad_args(self):
+        with pytest.raises(GenerationError):
+            w.chain(0)
+        with pytest.raises(GenerationError):
+            w.chain(3, comp=0)
+        with pytest.raises(GenerationError):
+            w.chain(3, comm=-1)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        g = w.fork_join(3, stages=2)
+        # 1 source + per stage (3 mids + 1 join)
+        assert g.n_tasks == 1 + 2 * 4
+        g.validate()
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_diamond(self):
+        g = w.diamond()
+        assert g.n_tasks == 4
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.fork_join(0)
+
+
+class TestTrees:
+    def test_out_tree(self):
+        g = w.out_tree(3, branching=2)
+        assert g.n_tasks == 15
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 8
+
+    def test_in_tree_mirrors_out_tree(self):
+        g = w.in_tree(2, branching=3)
+        assert g.n_tasks == 13
+        assert len(g.sinks()) == 1
+        assert len(g.sources()) == 9
+
+    def test_depth_zero(self):
+        assert w.out_tree(0).n_tasks == 1
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.out_tree(-1)
+
+
+class TestFFT:
+    def test_structure(self):
+        g = w.fft_graph(3)
+        assert g.n_tasks == 4 * 8  # (k+1) ranks of 2^k
+        g.validate()
+        # every non-input task has exactly 2 predecessors
+        for t in g.tasks():
+            s, _ = t
+            assert g.in_degree(t) == (0 if s == 0 else 2)
+
+    def test_butterfly_partners(self):
+        g = w.fft_graph(2)
+        assert g.has_edge((0, 0), (1, 1))  # partner of 1 at stage 1 is 0
+        assert g.has_edge((1, 0), (2, 2))  # stage 2 stride is 2
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.fft_graph(0)
+
+
+class TestGauss:
+    def test_structure(self):
+        g = w.gaussian_elimination(4)
+        g.validate()
+        # steps k=0,1,2 contribute (n - k) tasks each
+        assert g.n_tasks == 4 + 3 + 2
+        # pivot (0,0) enables all first-step updates
+        assert g.out_degree((0, 0)) == 3
+
+    def test_column_carry(self):
+        g = w.gaussian_elimination(4)
+        assert g.has_edge((0, 2), (1, 2))
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.gaussian_elimination(1)
+
+
+class TestDivideAndConquer:
+    def test_structure(self):
+        g = w.divide_and_conquer(2)
+        g.validate()
+        assert g.n_tasks == 2 * (2 ** 3 - 1)
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_leaf_link(self):
+        g = w.divide_and_conquer(1)
+        assert g.has_edge(("s", 1), ("m", 1))
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.divide_and_conquer(-1)
+
+
+class TestStencil:
+    def test_structure(self):
+        g = w.stencil_1d(4, 3)
+        g.validate()
+        assert g.n_tasks == 12
+        # interior cell has 3 predecessors
+        assert g.in_degree((1, 1)) == 3
+        # boundary cell has 2
+        assert g.in_degree((1, 0)) == 2
+
+    def test_bad(self):
+        with pytest.raises(GenerationError):
+            w.stencil_1d(0, 1)
+
+
+class TestSchedulable:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: w.chain(5),
+            lambda: w.fork_join(4, stages=2),
+            lambda: w.out_tree(3),
+            lambda: w.in_tree(3),
+            lambda: w.fft_graph(3),
+            lambda: w.gaussian_elimination(5),
+            lambda: w.divide_and_conquer(3),
+            lambda: w.stencil_1d(4, 4),
+        ],
+    )
+    def test_all_schedulers_handle_all_workloads(self, factory):
+        from repro import paper_schedulers
+
+        g = factory()
+        for sched in paper_schedulers():
+            sched.schedule(g).validate(g)
