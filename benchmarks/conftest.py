@@ -17,6 +17,7 @@ artifacts survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -24,6 +25,7 @@ import pytest
 
 from repro.experiments.runner import run_suite
 from repro.generation.suites import PAPER_GRAPHS_PER_CELL, generate_suite
+from repro.obs.metrics import get_registry
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -50,6 +52,28 @@ def suite_results():
 def artifact_dir() -> Path:
     OUT_DIR.mkdir(exist_ok=True)
     return OUT_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability_baseline():
+    """Write ``BENCH_observability.json`` when the bench session ends.
+
+    The baseline is the process metrics registry's snapshot — per-heuristic
+    timing (count/total/mean/max) plus all algorithm counters accumulated
+    across the whole benchmark run.  ``bench_observability.py`` adds its
+    instrumentation-overhead measurements to the same registry, so they
+    land here too.
+    """
+    yield
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "format": "repro-bench-observability",
+        "version": 1,
+        "metrics": get_registry().snapshot(),
+    }
+    (OUT_DIR / "BENCH_observability.json").write_text(
+        json.dumps(payload, indent=1) + "\n"
+    )
 
 
 @pytest.fixture

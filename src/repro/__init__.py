@@ -10,7 +10,9 @@ A complete empirical testbed for DAG scheduling heuristics:
 * :mod:`repro.generation` — the random PDG generator and Table 1 suite,
   and deterministic structured workloads;
 * :mod:`repro.experiments` — runners and regeneration of every table and
-  figure in the paper.
+  figure in the paper;
+* :mod:`repro.obs` — observability: span tracing, metrics registries,
+  run manifests and structured logging across the whole testbed.
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from .core.exceptions import (
     ReproError,
     ScheduleError,
 )
+from . import obs
 from .schedulers import (
     SCHEDULER_REGISTRY,
     ClansScheduler,
@@ -69,6 +72,7 @@ from .schedulers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "TaskGraph",
     "Schedule",
     "ScheduledTask",

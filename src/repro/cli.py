@@ -7,6 +7,14 @@ Subcommands::
     repro-sched generate  --band 2 --anchor 3 --wmin 20 --wmax 100 -n 40 -o g.json
     repro-sched experiment --graphs-per-cell 4 [--tables 2,3,4] [--figures 1,2]
     repro-sched workload  fft --param 3 -o fft.json
+    repro-sched stats     <results.json>
+
+Observability: ``--verbose`` / ``--log-json`` (before the subcommand)
+control structured logging; ``experiment``/``report`` accept
+``--trace PATH`` to capture a span trace of the whole run (``.jsonl`` for
+line format, anything else for Chrome trace-viewer JSON); ``experiment
+--save`` writes a run manifest next to the results, which ``stats``
+inspects.
 
 Graphs are exchanged as JSON (``TaskGraph.to_dict`` format).  Also runnable
 as ``python -m repro``.
@@ -18,7 +26,10 @@ import argparse
 import json
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
+from pathlib import Path
 
+from . import obs
 from .core.metrics import anchor_out_degree, granularity, node_weight_range
 from .core.taskgraph import TaskGraph
 from .experiments.figures import ALL_FIGURES
@@ -31,6 +42,26 @@ from .generation.suites import generate_suite
 from .schedulers.base import SCHEDULER_REGISTRY, get_scheduler
 
 __all__ = ["main"]
+
+
+@contextmanager
+def _trace_run(path: str | None):
+    """Capture a span trace of the ``with`` body when ``--trace`` was given.
+
+    The previous process tracer is restored on exit, so a traced CLI call
+    never leaves tracing enabled behind it.
+    """
+    if not path:
+        yield
+        return
+    parent = Path(path).resolve().parent
+    if not parent.is_dir():
+        raise SystemExit(f"cannot write trace to {path}: {parent} is not a directory")
+    tracer = obs.Tracer(enabled=True)
+    with obs.use_tracer(tracer):
+        yield
+    out = tracer.write(path)
+    print(f"wrote trace ({len(tracer)} events) to {out}", file=sys.stderr)
 
 
 def _load_graph(path: str) -> TaskGraph:
@@ -115,33 +146,60 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.persistence import load_results, save_results
 
-    if args.load:
-        results = load_results(args.load)
-    else:
-        suite = generate_suite(
-            graphs_per_cell=args.graphs_per_cell,
-            seed=args.seed,
-            n_tasks_range=(args.nmin, args.nmax),
+    manifest = obs.RunManifest.collect(
+        seed=args.seed,
+        config={
+            "command": "experiment",
+            "graphs_per_cell": args.graphs_per_cell,
+            "n_tasks_range": [args.nmin, args.nmax],
+            "loaded_from": args.load,
+        },
+    )
+    with _trace_run(args.trace):
+        if args.load:
+            with manifest.phase("load"):
+                results = load_results(args.load)
+        else:
+            with manifest.phase("generate"):
+                suite = list(
+                    generate_suite(
+                        graphs_per_cell=args.graphs_per_cell,
+                        seed=args.seed,
+                        n_tasks_range=(args.nmin, args.nmax),
+                    )
+                )
+            progress = obs.log_progress if args.progress else None
+            with manifest.phase("schedule"):
+                results = run_suite(suite, progress=progress, seed=args.seed)
+        if args.save:
+            with manifest.phase("save"):
+                save_results(results, args.save)
+            print(
+                f"saved {len(results)} graph results to {args.save}",
+                file=sys.stderr,
+            )
+        tables = (
+            _parse_ids(args.tables, ALL_TABLES) if args.tables else sorted(ALL_TABLES)
         )
-        total = args.graphs_per_cell * 60
-
-        def progress(i, _gr):
-            if args.progress and i % 50 == 0:
-                print(f"  {i}/{total} graphs", file=sys.stderr)
-
-        results = run_suite(suite, progress=progress)
-    if args.save:
-        save_results(results, args.save)
-        print(f"saved {len(results)} graph results to {args.save}", file=sys.stderr)
-    tables = _parse_ids(args.tables, ALL_TABLES) if args.tables else sorted(ALL_TABLES)
-    figures = _parse_ids(args.figures, ALL_FIGURES) if args.figures else []
-    for tid in tables:
-        print(ALL_TABLES[tid](results))
-        print()
-    for fid in figures:
-        print(ALL_FIGURES[fid](results).to_text())
-        print()
+        figures = _parse_ids(args.figures, ALL_FIGURES) if args.figures else []
+        with manifest.phase("report"):
+            for tid in tables:
+                print(ALL_TABLES[tid](results))
+                print()
+            for fid in figures:
+                print(ALL_FIGURES[fid](results).to_text())
+                print()
+        if args.save:
+            manifest.attach_metrics()
+            mpath = manifest.write_for(args.save)
+            print(f"wrote run manifest to {mpath}", file=sys.stderr)
     return 0
+
+
+def _scheduler_summary(cls: type) -> str:
+    """First docstring line of a scheduler class ('' when undocumented)."""
+    lines = (cls.__doc__ or "").strip().splitlines()
+    return lines[0].strip() if lines else "(no description)"
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -150,23 +208,75 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"{'name':8s} {'class':22s} summary")
     for name in sorted(SCHEDULER_REGISTRY):
         cls = SCHEDULER_REGISTRY[name]
-        doc = (cls.__doc__ or "").strip().splitlines()[0]
-        print(f"{name:8s} {cls.__name__:22s} {doc}")
+        print(f"{name:8s} {cls.__name__:22s} {_scheduler_summary(cls)}")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    text = full_report(
-        graphs_per_cell=args.graphs_per_cell,
-        seed=args.seed,
-        n_tasks_range=(args.nmin, args.nmax),
-    )
+    with _trace_run(args.trace):
+        text = full_report(
+            graphs_per_cell=args.graphs_per_cell,
+            seed=args.seed,
+            n_tasks_range=(args.nmin, args.nmax),
+        )
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text + "\n")
         print(f"wrote report to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Print the manifest + metrics recorded alongside a saved run."""
+    results_path = Path(args.results)
+    manifest_path = obs.manifest_path_for(results_path)
+    if not manifest_path.exists():
+        raise SystemExit(
+            f"no manifest at {manifest_path} — re-run "
+            f"`repro experiment --save {results_path}` to produce one"
+        )
+    manifest = obs.RunManifest.load(manifest_path)
+    plat = manifest.platform
+    print(f"manifest       : {manifest_path}")
+    print(f"created        : {manifest.created}")
+    print(f"seed           : {manifest.seed}")
+    print(f"repro version  : {manifest.version}")
+    print(
+        f"platform       : python {plat.get('python', '?')} on "
+        f"{plat.get('system', '?')}/{plat.get('machine', '?')}"
+    )
+    for key, value in sorted(manifest.config.items()):
+        print(f"config.{key:<15s}: {value}")
+    if manifest.phases:
+        print()
+        print("phase            wall time")
+        for name, seconds in manifest.phases.items():
+            print(f"{name:16s} {seconds:10.3f}s")
+
+    timers = manifest.metrics.get("timers", {})
+    sched_timers = {
+        name.removeprefix("scheduler."): t
+        for name, t in timers.items()
+        if name.startswith("scheduler.")
+    }
+    if sched_timers:
+        print()
+        print(f"{'heuristic':10s} {'calls':>7s} {'total':>10s} {'mean':>10s} {'max':>10s}")
+        for name in sorted(sched_timers):
+            t = sched_timers[name]
+            print(
+                f"{name:10s} {t['count']:7d} {t['total_s'] * 1e3:9.1f}ms "
+                f"{t['mean_s'] * 1e3:9.3f}ms {t['max_s'] * 1e3:9.3f}ms"
+            )
+    counters = manifest.metrics.get("counters", {})
+    if counters:
+        print()
+        print("counter totals")
+        width = max(len(n) for n in counters)
+        for name in sorted(counters):
+            print(f"  {name:<{width}s} {counters[name]:14g}")
     return 0
 
 
@@ -201,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sched",
         description="Multiprocessor scheduling heuristic testbed (ICPP 1994 reproduction)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log at DEBUG instead of INFO"
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", help="emit JSON-lines structured logs"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -252,7 +368,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nmin", type=int, default=40)
     p.add_argument("--nmax", type=int, default=100)
     p.add_argument("-o", "--output", help="write to file instead of stdout")
+    p.add_argument(
+        "--trace", help="capture a span trace of the run to this path"
+    )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "stats", help="print the manifest and metrics of a saved run"
+    )
+    p.add_argument(
+        "results", help="results JSON written by `experiment --save` (or its manifest)"
+    )
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("export", help="export a schedule as SVG or Chrome trace")
     p.add_argument("graph", help="graph JSON file")
@@ -268,9 +395,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nmax", type=int, default=100)
     p.add_argument("--tables", help="comma-separated table numbers (default: all)")
     p.add_argument("--figures", help="comma-separated figure numbers")
-    p.add_argument("--progress", action="store_true")
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="log suite progress (count, elapsed, graphs/s, ETA)",
+    )
     p.add_argument("--save", help="save raw results JSON to this path")
     p.add_argument("--load", help="skip the run; load results JSON from this path")
+    p.add_argument(
+        "--trace", help="capture a span trace of the run to this path"
+    )
     p.set_defaults(func=_cmd_experiment)
 
     return parser
@@ -279,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    obs.configure(verbose=args.verbose, json_mode=args.log_json)
     return args.func(args)
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from ..obs.metrics import get_registry
 from .analysis import b_levels
 from .exceptions import ScheduleError
 from .schedule import Schedule
@@ -91,6 +92,9 @@ def simulate_ordered(graph: TaskGraph, clusters: Sequence[Sequence[Task]]) -> Sc
         raise ScheduleError(
             "clustering deadlocks: cluster orders conflict with precedence"
         )
+    registry = get_registry()
+    registry.inc("simulator.runs")
+    registry.inc("simulator.events", done)
     return schedule
 
 

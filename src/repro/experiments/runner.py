@@ -5,15 +5,30 @@ This is the testbed's execution core: it takes classified graphs (from
 every graph, optionally validates each produced schedule against the
 execution model, and emits :class:`~repro.experiments.measures.GraphResult`
 records for aggregation.
+
+Observability: each graph is traced as a ``graph.<id>`` span on the process
+tracer (:mod:`repro.obs.trace`); any library error raised while scheduling
+or validating is annotated (:pep:`678` notes) with the graph id, heuristic
+name and master seed, so a failure 1800 graphs into a suite run is
+diagnosable.  Progress callbacks may accept a third
+:class:`~repro.obs.log.ProgressStats` argument carrying elapsed wall time,
+throughput and ETA — ``progress=repro.obs.log_progress`` is the ready-made
+logging callback.
 """
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable, Iterable, Sequence
+from time import perf_counter
 
+from ..core.exceptions import ReproError
 from ..core.metrics import granularity
 from ..core.taskgraph import TaskGraph
 from ..generation.suites import SuiteGraph
+from ..obs.log import ProgressStats
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..schedulers.base import Scheduler, paper_schedulers
 from .measures import GraphResult, HeuristicResult
 
@@ -23,23 +38,43 @@ __all__ = ["evaluate_graph", "run_suite", "PAPER_HEURISTIC_ORDER"]
 PAPER_HEURISTIC_ORDER: tuple[str, ...] = ("CLANS", "DSC", "MCP", "MH", "HU")
 
 
+def _attach_run_context(
+    exc: BaseException, *, graph_id: str | None, heuristic: str, seed: int | None
+) -> None:
+    """Annotate a failure with which run produced it (PEP 678 note)."""
+    exc.add_note(
+        f"while scheduling graph={graph_id or '<unnamed>'} "
+        f"heuristic={heuristic} seed={seed if seed is not None else '<unknown>'}"
+    )
+
+
 def evaluate_graph(
     graph: TaskGraph,
     schedulers: Sequence[Scheduler],
     *,
     validate: bool = False,
+    graph_id: str | None = None,
+    seed: int | None = None,
 ) -> dict[str, HeuristicResult]:
     """Schedule one graph with every heuristic.
 
     With ``validate=True`` each schedule is checked against the shared
     execution model — slower, but the property the whole comparison rests
-    on; the test suite always validates.
+    on; the test suite always validates.  ``graph_id`` and ``seed`` are
+    pure metadata: they are attached to any raised library error so the
+    failing run can be reproduced.
     """
     out: dict[str, HeuristicResult] = {}
     for sched in schedulers:
-        schedule = sched.schedule(graph)
-        if validate:
-            schedule.validate(graph)
+        try:
+            schedule = sched.schedule(graph)
+            if validate:
+                schedule.validate(graph)
+        except ReproError as exc:
+            _attach_run_context(
+                exc, graph_id=graph_id, heuristic=sched.name, seed=seed
+            )
+            raise
         out[sched.name] = HeuristicResult(
             parallel_time=schedule.makespan,
             n_processors=schedule.n_processors,
@@ -47,32 +82,81 @@ def evaluate_graph(
     return out
 
 
+def _accepts_stats(progress: Callable) -> bool:
+    """Whether a progress callback takes the third ``ProgressStats`` arg."""
+    try:
+        params = inspect.signature(progress).parameters.values()
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for p in params:
+        if p.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if p.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 3
+
+
 def run_suite(
     suite: Iterable[SuiteGraph],
     schedulers: Sequence[Scheduler] | None = None,
     *,
     validate: bool = False,
-    progress: Callable[[int, GraphResult], None] | None = None,
+    progress: Callable | None = None,
+    seed: int | None = None,
 ) -> list[GraphResult]:
     """Evaluate every suite graph with every scheduler.
 
     ``schedulers`` defaults to the paper's five heuristics.  ``progress``
-    (if given) is called after each graph with ``(count so far, result)``.
+    (if given) is called after each graph with ``(count so far, result)``;
+    callbacks declaring a third positional parameter additionally receive a
+    :class:`~repro.obs.log.ProgressStats` with elapsed time, graphs/sec and
+    the suite total when known.  ``seed`` is metadata only — it is attached
+    to error context and is *not* used to generate anything here.
     """
     if schedulers is None:
         schedulers = paper_schedulers()
+    total = len(suite) if hasattr(suite, "__len__") else None
+    with_stats = progress is not None and _accepts_stats(progress)
+    tracer = get_tracer()
+    start = perf_counter()
     results: list[GraphResult] = []
     for sg in suite:
-        gr = GraphResult(
-            graph_id=sg.graph_id,
-            band=sg.cell.band,
-            anchor=sg.cell.anchor,
-            weight_range=sg.cell.weight_range,
-            granularity=granularity(sg.graph),
-            serial_time=sg.graph.serial_time(),
-            results=evaluate_graph(sg.graph, schedulers, validate=validate),
-        )
+        with tracer.span("graph." + sg.graph_id, cat="suite", graph_id=sg.graph_id):
+            gr = GraphResult(
+                graph_id=sg.graph_id,
+                band=sg.cell.band,
+                anchor=sg.cell.anchor,
+                weight_range=sg.cell.weight_range,
+                granularity=granularity(sg.graph),
+                serial_time=sg.graph.serial_time(),
+                results=evaluate_graph(
+                    sg.graph,
+                    schedulers,
+                    validate=validate,
+                    graph_id=sg.graph_id,
+                    seed=seed,
+                ),
+            )
         results.append(gr)
         if progress is not None:
-            progress(len(results), gr)
+            done = len(results)
+            if with_stats:
+                elapsed = perf_counter() - start
+                progress(
+                    done,
+                    gr,
+                    ProgressStats(
+                        done=done,
+                        total=total,
+                        elapsed=elapsed,
+                        rate=done / elapsed if elapsed > 0 else 0.0,
+                    ),
+                )
+            else:
+                progress(done, gr)
+    get_registry().inc("suite.graphs", len(results))
     return results

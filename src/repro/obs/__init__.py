@@ -1,0 +1,65 @@
+"""repro.obs — observability for the scheduling testbed.
+
+One cross-cutting layer, four small parts:
+
+* :mod:`repro.obs.trace` — span/event tracer with monotonic timing and
+  Chrome-trace / JSONL export (``--trace`` on the CLI);
+* :mod:`repro.obs.metrics` — named counters/timers/histograms with a
+  process-global default registry plus injectable instances for tests;
+* :mod:`repro.obs.manifest` — run manifests (seed, config, version,
+  platform, phase wall times, metrics snapshot) written next to every
+  saved results file;
+* :mod:`repro.obs.log` — stdlib-``logging`` structured logger and the
+  ``log_progress`` suite-progress callback.
+
+The instrumented choke points (``Scheduler.schedule``, ``run_suite``,
+``core.simulator``, several heuristics) emit into the process-global
+tracer/registry; both default to disabled/cheap, so the testbed pays
+near-zero overhead until a CLI flag or a test turns collection on.
+"""
+
+from .log import (
+    JsonFormatter,
+    ProgressLogger,
+    ProgressStats,
+    configure,
+    get_logger,
+    log_progress,
+)
+from .manifest import RunManifest, load_manifest, manifest_path_for
+from .metrics import (
+    HistogramStats,
+    MetricsRegistry,
+    TimerStats,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .trace import Tracer, complete_event, get_tracer, set_tracer, use_tracer
+
+__all__ = [
+    # trace
+    "Tracer",
+    "complete_event",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    # metrics
+    "MetricsRegistry",
+    "TimerStats",
+    "HistogramStats",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    # manifest
+    "RunManifest",
+    "manifest_path_for",
+    "load_manifest",
+    # log
+    "configure",
+    "get_logger",
+    "JsonFormatter",
+    "ProgressStats",
+    "ProgressLogger",
+    "log_progress",
+]

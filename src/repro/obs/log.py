@@ -1,0 +1,163 @@
+"""Structured logging for the testbed, on stdlib :mod:`logging`.
+
+Everything logs under the ``"repro"`` logger namespace
+(:func:`get_logger`), so embedding applications keep full control; the CLI
+calls :func:`configure` once, which installs exactly one stderr handler in
+either human or JSON-lines format (``--verbose`` / ``--log-json``).
+
+:class:`ProgressLogger` is the ready-made ``run_suite`` progress callback:
+pass ``progress=obs.log_progress`` and get periodic lines with graph count,
+elapsed wall time, throughput and (when the suite size is known) an ETA.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, TextIO
+
+__all__ = [
+    "get_logger",
+    "configure",
+    "JsonFormatter",
+    "ProgressStats",
+    "ProgressLogger",
+    "log_progress",
+]
+
+_ROOT = "repro"
+
+#: LogRecord attributes that are plumbing, not user payload.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger in the testbed's namespace (``repro`` or ``repro.<name>``)."""
+    return logging.getLogger(_ROOT if not name else f"{_ROOT}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts/level/logger/msg plus any ``extra``
+    fields attached to the record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(
+    *,
+    verbose: bool = False,
+    json_mode: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install the testbed's single log handler (idempotent).
+
+    ``verbose`` lowers the level to DEBUG (default INFO); ``json_mode``
+    emits JSON lines instead of the human format.  Returns the root
+    ``repro`` logger.
+    """
+    logger = logging.getLogger(_ROOT)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    if json_mode:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                datefmt="%H:%M:%S",
+            )
+        )
+    logger.addHandler(handler)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    logger.propagate = False
+    return logger
+
+
+@dataclass(frozen=True)
+class ProgressStats:
+    """Throughput facts ``run_suite`` hands to 3-argument progress
+    callbacks."""
+
+    done: int
+    total: int | None
+    elapsed: float
+    rate: float
+
+    @property
+    def eta(self) -> float | None:
+        """Estimated seconds remaining (None when total/rate unknown)."""
+        if self.total is None or self.rate <= 0:
+            return None
+        return max(self.total - self.done, 0) / self.rate
+
+
+class ProgressLogger:
+    """Progress callback logging count, elapsed time, graphs/sec and ETA.
+
+    Works both as a 3-argument callback (``run_suite`` supplies
+    :class:`ProgressStats`) and as a plain 2-argument one (it then times
+    itself from its first call).  A fresh run is detected when the count
+    resets, so one module-level instance (:data:`log_progress`) can serve
+    consecutive runs.
+    """
+
+    def __init__(self, *, every: int = 25, logger: logging.Logger | None = None):
+        self.every = every
+        self._logger = logger
+        self._start: float | None = None
+        self._last_done = 0
+
+    def _emit(self, stats: ProgressStats) -> None:
+        logger = self._logger or get_logger("progress")
+        total = "?" if stats.total is None else str(stats.total)
+        msg = (
+            f"{stats.done}/{total} graphs | {stats.elapsed:.1f}s elapsed | "
+            f"{stats.rate:.1f} graphs/s"
+        )
+        eta = stats.eta
+        if eta is not None:
+            msg += f" | ETA {eta:.1f}s"
+        logger.info(
+            msg,
+            extra={
+                "done": stats.done,
+                "total": stats.total,
+                "elapsed_s": round(stats.elapsed, 3),
+                "rate": round(stats.rate, 3),
+            },
+        )
+
+    def __call__(self, done: int, result, stats: ProgressStats | None = None) -> None:
+        if done <= self._last_done or self._start is None:
+            self._start = perf_counter()
+        self._last_done = done
+        if stats is None:
+            elapsed = perf_counter() - self._start
+            rate = done / elapsed if elapsed > 0 else 0.0
+            stats = ProgressStats(done=done, total=None, elapsed=elapsed, rate=rate)
+        if done % self.every == 0 or done == stats.total:
+            self._emit(stats)
+
+
+#: Ready-made callback: ``run_suite(suite, progress=obs.log_progress)``.
+log_progress = ProgressLogger()

@@ -1,0 +1,156 @@
+"""Run manifests: what produced a results file, exactly.
+
+A :class:`RunManifest` records everything needed to trust (or re-run) a
+saved experiment: the master seed, the run configuration, the package
+version, the platform, per-phase wall times and a metrics snapshot.  The
+CLI writes one next to every saved results JSON (``res.json`` →
+``res.manifest.json``) so a results file is never orphaned from its
+provenance; ``python -m repro stats`` reads it back.
+
+Manifests are versioned JSON with the same format-guard convention as
+:mod:`repro.experiments.persistence`.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from time import perf_counter
+
+__all__ = ["RunManifest", "manifest_path_for", "load_manifest"]
+
+_FORMAT = "repro-manifest"
+_FORMAT_VERSION = 1
+
+
+def manifest_path_for(results_path: str | Path) -> Path:
+    """Manifest path conventionally paired with ``results_path``
+    (``res.json`` → ``res.manifest.json``)."""
+    p = Path(results_path)
+    if p.name.endswith(".manifest.json"):
+        return p
+    return p.with_name(p.stem + ".manifest.json")
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one experiment run."""
+
+    created: str = ""
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    version: str = ""
+    platform: dict = field(default_factory=dict)
+    phases: dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def collect(
+        cls, *, seed: int | None = None, config: dict | None = None
+    ) -> RunManifest:
+        """A manifest pre-filled with environment facts (version, platform,
+        creation time); phases and metrics are attached as the run goes."""
+        from .. import __version__  # local import: repro/__init__ may be mid-import
+
+        return cls(
+            created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            seed=seed,
+            config=dict(config or {}),
+            version=__version__,
+            platform={
+                "python": sys.version.split()[0],
+                "implementation": _platform.python_implementation(),
+                "system": _platform.system(),
+                "release": _platform.release(),
+                "machine": _platform.machine(),
+            },
+        )
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the ``with`` body as phase ``name`` (accumulates wall
+        seconds if the same phase runs more than once)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.phases[name] = round(self.phases.get(name, 0.0) + elapsed, 6)
+
+    def attach_metrics(self, registry=None) -> None:
+        """Snapshot ``registry`` (default: the process registry) into the
+        manifest."""
+        if registry is None:
+            from .metrics import get_registry
+
+            registry = get_registry()
+        self.metrics = registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT,
+            "version": _FORMAT_VERSION,
+            "created": self.created,
+            "seed": self.seed,
+            "config": self.config,
+            "package_version": self.version,
+            "platform": self.platform,
+            "phases": self.phases,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RunManifest:
+        if payload.get("format") != _FORMAT:
+            raise ValueError("not a repro manifest")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r}"
+            )
+        return cls(
+            created=payload.get("created", ""),
+            seed=payload.get("seed"),
+            config=payload.get("config", {}),
+            version=payload.get("package_version", ""),
+            platform=payload.get("platform", {}),
+            phases=payload.get("phases", {}),
+            metrics=payload.get("metrics", {}),
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the manifest to ``path`` verbatim."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1) + "\n")
+        return path
+
+    def write_for(self, results_path: str | Path) -> Path:
+        """Write next to a results file using the pairing convention."""
+        return self.write(manifest_path_for(results_path))
+
+    @classmethod
+    def load(cls, path: str | Path) -> RunManifest:
+        try:
+            payload = json.loads(Path(path).read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: not a repro manifest ({exc})") from None
+        try:
+            return cls.from_dict(payload)
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from None
+
+
+def load_manifest(path: str | Path) -> RunManifest:
+    """Module-level alias of :meth:`RunManifest.load`."""
+    return RunManifest.load(path)

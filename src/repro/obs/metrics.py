@@ -1,0 +1,234 @@
+"""Named counters, timers and histograms for the testbed.
+
+A :class:`MetricsRegistry` is a plain in-process aggregation sink:
+heuristics and the simulator *emit* (``inc``, ``add_timing``, ``observe``)
+and analysis code *reads* (``counter``, ``timer_stats``, ``snapshot``).
+There is a process-global default registry (:func:`get_registry`) that the
+instrumented code paths write into, plus injectable instances for tests —
+:func:`use_registry` swaps the default within a ``with`` block, so counter
+assertions never see another test's traffic.
+
+Emission is designed for hot paths: algorithms accumulate locally and flush
+one ``inc`` per run, and a disabled-tracing schedule call costs two dict
+updates (see ``benchmarks/bench_observability.py`` for the <5% overhead
+guarantee).
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-able dicts;
+they are embedded in run manifests (:mod:`repro.obs.manifest`) and printed
+by ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = [
+    "TimerStats",
+    "HistogramStats",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+@dataclass
+class TimerStats:
+    """Aggregate of one named timer: call count and seconds."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
+class HistogramStats:
+    """Aggregate of one named value distribution.
+
+    Keeps count/sum/min/max plus power-of-two bucket counts (bucket ``k``
+    holds values ``v`` with ``2**(k-1) < v <= 2**k``; non-positive values
+    land in bucket ``None`` rendered as ``"<=0"``).
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int | None, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        key = None if value <= 0 else max(0, math.ceil(math.log2(value)))
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {
+                ("<=0" if k is None else f"<=2^{k}"): v
+                for k, v in sorted(
+                    self.buckets.items(), key=lambda kv: (kv[0] is not None, kv[0] or 0)
+                )
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, timers and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, TimerStats] = {}
+        self._histograms: dict[str, HistogramStats] = {}
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def add_timing(self, name: str, seconds: float) -> None:
+        """Record one timed call of ``seconds`` under timer ``name``."""
+        with self._lock:
+            stats = self._timers.get(name)
+            if stats is None:
+                stats = self._timers[name] = TimerStats()
+            stats.add(seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time the ``with`` body into timer ``name`` (errors included)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add_timing(name, perf_counter() - start)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        with self._lock:
+            stats = self._histograms.get(name)
+            if stats is None:
+                stats = self._histograms[name] = HistogramStats()
+            stats.observe(value)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def timer_stats(self, name: str) -> TimerStats:
+        """Stats of timer ``name`` (zeroed stats if never recorded)."""
+        return self._timers.get(name, TimerStats())
+
+    def counters(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {n: t.as_dict() for n, t in self._timers.items()},
+                "histograms": {
+                    n: h.as_dict() for n, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict into this registry (counters and
+        timer count/total only — per-merge min/max/buckets are kept as
+        bounds/approximations)."""
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, t in snapshot.get("timers", {}).items():
+                stats = self._timers.setdefault(name, TimerStats())
+                stats.count += t["count"]
+                stats.total_s += t["total_s"]
+                stats.min_s = min(stats.min_s, t.get("min_s", math.inf))
+                stats.max_s = max(stats.max_s, t.get("max_s", 0.0))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._timers)} timers, {len(self._histograms)} histograms)"
+        )
+
+
+#: Process-global default registry the instrumented code paths emit into.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the old one."""
+    global _default_registry
+    old, _default_registry = _default_registry, registry
+    return old
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` (isolates counters in tests)."""
+    old = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(old)

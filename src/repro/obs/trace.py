@@ -1,0 +1,243 @@
+"""Lightweight span/event tracer with Chrome-trace-compatible export.
+
+A :class:`Tracer` collects *complete* events ("ph": "X" in the Chrome
+trace-event format) with monotonic (``perf_counter``) timing.  Spans are
+opened with the :meth:`Tracer.span` context manager and nest: each recorded
+event carries its parent span's name in ``args.parent`` (nesting is also
+implied by time containment on one thread, which is how ``chrome://tracing``
+and Perfetto render it).
+
+Two serializations of the same events:
+
+* :meth:`Tracer.to_jsonl` — one JSON trace event per line (easy to grep /
+  stream / tail);
+* :meth:`Tracer.to_chrome` — the ``{"traceEvents": [...]}`` object format
+  loadable directly in the Chrome trace viewer.
+
+:meth:`Tracer.write` picks by file suffix (``.jsonl`` vs anything else).
+:func:`complete_event` is the single builder for trace-event dicts; it is
+shared with :func:`repro.viz.schedule_to_trace` so *schedule* traces and
+*testbed* traces use one event vocabulary.
+
+A process-global tracer (disabled by default, so instrumentation is a
+near-no-op) is reachable via :func:`get_tracer` / :func:`set_tracer`;
+tests inject their own with :func:`use_tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+
+__all__ = [
+    "complete_event",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+def complete_event(
+    name: str,
+    *,
+    ts: float,
+    dur: float,
+    cat: str = "repro",
+    pid: int = 0,
+    tid: int = 0,
+    args: dict | None = None,
+) -> dict:
+    """One Chrome trace-event dict (``ph: "X"``; ``ts``/``dur`` in µs)."""
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+class Tracer:
+    """Collects timed spans and instant events.
+
+    ``enabled=False`` turns every recording call into a cheap no-op — the
+    default process-global tracer ships disabled so the instrumented hot
+    paths pay only an attribute check.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[dict] = []
+        self._epoch = perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._tids: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids.setdefault(ident, len(self._tids))
+        return tid
+
+    @contextmanager
+    def span(self, name: str, *, cat: str = "repro", **args) -> Iterator[None]:
+        """Record one complete event spanning the ``with`` body.
+
+        Exactly one event is recorded per entry, *including when the body
+        raises* — the exception is summarized in ``args.error`` and
+        re-raised.
+        """
+        if not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        start = perf_counter()
+        stack.append(name)
+        error: BaseException | None = None
+        try:
+            yield
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            stack.pop()
+            self.add_span(
+                name, start, perf_counter() - start,
+                cat=cat, error=error, args=args,
+            )
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        cat: str = "repro",
+        error: BaseException | None = None,
+        args: dict | None = None,
+    ) -> None:
+        """Record a complete event from an explicit ``perf_counter`` start
+        and duration (seconds) — for call sites that time themselves."""
+        if not self.enabled:
+            return
+        ev_args = dict(args) if args else {}
+        stack = self._stack()
+        if stack and stack[-1] != name:
+            ev_args["parent"] = stack[-1]
+        if error is not None:
+            ev_args["error"] = f"{type(error).__name__}: {error}"
+        event = complete_event(
+            name,
+            ts=(start - self._epoch) * 1e6,
+            dur=duration * 1e6,
+            cat=cat,
+            tid=self._tid(),
+            args=ev_args or None,
+        )
+        with self._lock:
+            self.events.append(event)
+
+    def instant(self, name: str, *, cat: str = "repro", **args) -> None:
+        """Record a zero-duration marker event (``ph: "i"``)."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "ts": (perf_counter() - self._epoch) * 1e6,
+            "pid": 0,
+            "tid": self._tid(),
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # inspection & export
+    # ------------------------------------------------------------------
+    def spans(self, name: str | None = None) -> list[dict]:
+        """All recorded complete events, optionally filtered by name."""
+        return [
+            e for e in self.events
+            if e["ph"] == "X" and (name is None or e["name"] == name)
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+    def to_jsonl(self) -> str:
+        """One trace event per line."""
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
+
+    def to_chrome(self) -> str:
+        """Chrome trace viewer / Perfetto object format."""
+        return json.dumps(
+            {"traceEvents": self.events, "displayTimeUnit": "ms"}, indent=1
+        )
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace; ``*.jsonl`` gets line format, else Chrome JSON."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            payload = self.to_jsonl() + "\n"
+        else:
+            payload = self.to_chrome() + "\n"
+        path.write_text(payload)
+        return path
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.events)} events)"
+
+
+#: Process-global tracer: disabled by default so instrumentation is free.
+_default_tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled unless someone enabled it)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-global tracer; returns the old one."""
+    global _default_tracer
+    old, _default_tracer = _default_tracer, tracer
+    return old
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` (tests, scoped captures)."""
+    old = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(old)

@@ -12,10 +12,13 @@ experiment harness and CLI can look them up by name.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 
 from ..core.exceptions import GraphError
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 
 __all__ = ["Scheduler", "SCHEDULER_REGISTRY", "register", "get_scheduler", "paper_schedulers"]
 
@@ -32,11 +35,39 @@ class Scheduler(ABC):
     name: str = "?"
 
     def schedule(self, graph: TaskGraph) -> Schedule:
-        """Schedule ``graph``; raises :class:`GraphError` on invalid input."""
+        """Schedule ``graph``; raises :class:`GraphError` on invalid input.
+
+        Every call is timed into the process metrics registry
+        (``scheduler.<name>`` timer, ``scheduler.<name>.errors`` counter)
+        and — when the process tracer is enabled — recorded as exactly one
+        ``schedule.<name>`` span, error paths included.
+        """
         if graph.n_tasks == 0:
             raise GraphError(f"{self.name}: cannot schedule an empty graph")
-        graph.validate()
-        return self._schedule(graph)
+        tracer = get_tracer()
+        registry = get_registry()
+        start = perf_counter()
+        error: BaseException | None = None
+        try:
+            graph.validate()
+            return self._schedule(graph)
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            duration = perf_counter() - start
+            registry.add_timing(f"scheduler.{self.name}", duration)
+            if error is not None:
+                registry.inc(f"scheduler.{self.name}.errors")
+            if tracer.enabled:
+                tracer.add_span(
+                    f"schedule.{self.name}",
+                    start,
+                    duration,
+                    cat="scheduler",
+                    error=error,
+                    args={"heuristic": self.name, "n_tasks": graph.n_tasks},
+                )
 
     @abstractmethod
     def _schedule(self, graph: TaskGraph) -> Schedule:

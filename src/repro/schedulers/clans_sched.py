@@ -41,6 +41,7 @@ from ..clans.parse_tree import ClanKind, ClanNode
 from ..core.schedule import Schedule
 from ..core.simulator import serial_schedule, simulate_ordered
 from ..core.taskgraph import Task, TaskGraph
+from ..obs.metrics import get_registry
 from .base import Scheduler, register
 
 __all__ = ["ClansScheduler", "GroupDecision"]
@@ -106,10 +107,17 @@ class ClansScheduler(Scheduler):
         ctx = _Context(graph)
         self._annotate(tree, ctx)
         self._assign(tree, ctx, 0)
+        registry = get_registry()
+        registry.inc("clans.group_decisions", len(ctx.decisions))
+        registry.inc(
+            "clans.parallel_decisions",
+            sum(1 for d in ctx.decisions.values() if d.parallelized),
+        )
         schedule = simulate_ordered(graph, ctx.clusters)
         self.last_fallback = False
         if self.speedup_check and schedule.makespan > graph.serial_time() + 1e-9:
             self.last_fallback = True
+            registry.inc("clans.serial_fallbacks")
             return serial_schedule(graph)
         return schedule
 

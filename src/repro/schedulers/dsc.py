@@ -31,6 +31,7 @@ from __future__ import annotations
 from ..core.analysis import b_levels
 from ..core.schedule import Schedule
 from ..core.taskgraph import Task, TaskGraph
+from ..obs.metrics import get_registry
 from .base import Scheduler, register
 
 
@@ -79,6 +80,11 @@ class DSCScheduler(Scheduler):
         def priority(t: Task) -> float:
             return startbound(t) + level[t]
 
+        # Local tallies, flushed once per call (keeps the loop allocation-free).
+        n_zeroings = 0
+        n_fresh = 0
+        n_ct2_rejections = 0
+
         while unscheduled:
             free = [t for t in unscheduled if n_sched_preds[t] == graph.in_degree(t)]
             partial = [t for t in unscheduled if n_sched_preds[t] < graph.in_degree(t)]
@@ -103,6 +109,8 @@ class DSCScheduler(Scheduler):
                         finish, cluster_of, startbound,
                     ):
                         target = best_c
+                    elif ct1:
+                        n_ct2_rejections += 1
 
             if target is None:
                 # fresh cluster at the lower-bound start time
@@ -110,8 +118,10 @@ class DSCScheduler(Scheduler):
                 clusters.append([])
                 cluster_avail.append(0.0)
                 start = sb
+                n_fresh += 1
             else:
                 start = st_on(target, nx)
+                n_zeroings += 1
 
             clusters[target].append(nx)
             schedule.place(nx, target, start, graph.weight(nx))
@@ -121,6 +131,11 @@ class DSCScheduler(Scheduler):
             unscheduled.remove(nx)
             for s in graph.successors(nx):
                 n_sched_preds[s] += 1
+
+        registry = get_registry()
+        registry.inc("dsc.edge_zeroings", n_zeroings)
+        registry.inc("dsc.fresh_clusters", n_fresh)
+        registry.inc("dsc.ct2_rejections", n_ct2_rejections)
         return schedule
 
     def _ct2_ok(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..core.analysis import alap_times
 from ..core.schedule import Schedule
 from ..core.taskgraph import Task, TaskGraph
+from ..obs.metrics import get_registry
 from ._pool import ProcessorPool
 from .base import Scheduler, register
 
@@ -43,9 +44,21 @@ class MCPScheduler(Scheduler):
     def _schedule(self, graph: TaskGraph) -> Schedule:
         order = self.priority_order(graph)
         pool = ProcessorPool(graph, max_processors=self.max_processors)
+        n_slot_insertions = 0
         for task in order:
             proc, start = pool.best_processor(task, insertion=self.insertion)
+            if (
+                self.insertion
+                and proc < pool.n_processors
+                and start + graph.weight(task) <= pool.avail(proc) - 1e-12
+            ):
+                # placed into an idle gap, not appended after the last task
+                n_slot_insertions += 1
             pool.place(task, proc, start)
+        registry = get_registry()
+        if self.insertion:
+            registry.inc("mcp.insertion_attempts", len(order))
+        registry.inc("mcp.slot_insertions", n_slot_insertions)
         return pool.schedule
 
     @staticmethod

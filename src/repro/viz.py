@@ -17,6 +17,7 @@ import html
 
 from .clans.parse_tree import ClanKind, ClanNode
 from .core.schedule import Schedule
+from .obs.trace import complete_event
 
 __all__ = ["schedule_to_svg", "schedule_to_trace", "clan_tree_to_dot"]
 
@@ -79,20 +80,22 @@ def schedule_to_svg(
 
 
 def schedule_to_trace(schedule: Schedule) -> str:
-    """Chrome trace-event JSON (load in chrome://tracing or Perfetto)."""
-    events = []
-    for placed in sorted(schedule, key=lambda p: (p.processor, p.start)):
-        events.append(
-            {
-                "name": str(placed.task),
-                "cat": "task",
-                "ph": "X",  # complete event
-                "ts": placed.start * 1000.0,  # model units -> "us"
-                "dur": (placed.finish - placed.start) * 1000.0,
-                "pid": 0,
-                "tid": placed.processor,
-            }
+    """Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+
+    Events share the :func:`repro.obs.trace.complete_event` vocabulary used
+    by the testbed tracer, so schedule traces and experiment traces can be
+    inspected with the same tooling.
+    """
+    events = [
+        complete_event(
+            str(placed.task),
+            cat="task",
+            ts=placed.start * 1000.0,  # model units -> "us"
+            dur=(placed.finish - placed.start) * 1000.0,
+            tid=placed.processor,
         )
+        for placed in sorted(schedule, key=lambda p: (p.processor, p.start))
+    ]
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
 
 

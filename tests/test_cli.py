@@ -169,3 +169,79 @@ class TestImproveFlag:
 
         assert makespan(improved) <= makespan(base) + 1e-9
         assert "HU+ls" in improved
+
+
+class TestList:
+    def test_lists_schedulers_with_docstring_summaries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CLANS", "DSC", "MCP", "MH", "HU"):
+            assert name in out
+        # every registered scheduler gets a one-line summary column
+        for line in out.splitlines()[1:]:
+            assert len(line.split(maxsplit=2)) == 3, line
+
+    def test_survives_missing_docstring(self, capsys):
+        from repro.cli import _scheduler_summary
+
+        class Undocumented:
+            __doc__ = None
+
+        assert _scheduler_summary(Undocumented) == "(no description)"
+
+
+class TestObservability:
+    def test_experiment_writes_trace_and_manifest(self, tmp_path, capsys):
+        import json as _json
+
+        saved = tmp_path / "res.json"
+        trace = tmp_path / "run.json"
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "10",
+             "--nmax", "13", "--tables", "2", "--save", str(saved),
+             "--trace", str(trace)]
+        )
+        assert rc == 0
+        data = _json.loads(trace.read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        assert any(n.startswith("graph.") for n in names)
+        assert any(n.startswith("schedule.") for n in names)
+        manifest = _json.loads((tmp_path / "res.manifest.json").read_text())
+        assert manifest["format"] == "repro-manifest"
+        assert manifest["seed"] == 19940815
+        assert "schedule" in manifest["phases"]
+
+    def test_jsonl_trace_format(self, tmp_path):
+        import json as _json
+
+        trace = tmp_path / "run.jsonl"
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "10",
+             "--nmax", "12", "--tables", "2", "--trace", str(trace)]
+        )
+        assert rc == 0
+        lines = trace.read_text().strip().splitlines()
+        assert len(lines) > 60  # 60 graph spans + 300 scheduler spans
+        assert all(_json.loads(line)["ph"] == "X" for line in lines[:5])
+
+    def test_stats_prints_timings_and_counters(self, tmp_path, capsys):
+        saved = tmp_path / "res.json"
+        rc = main(
+            ["experiment", "--graphs-per-cell", "1", "--nmin", "10",
+             "--nmax", "13", "--tables", "2", "--save", str(saved)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert main(["stats", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "seed           : 19940815" in out
+        for name in ("CLANS", "DSC", "MCP", "MH", "HU"):
+            assert name in out
+        assert "dsc.edge_zeroings" in out
+        assert "simulator.events" in out
+
+    def test_stats_without_manifest_exits_with_hint(self, tmp_path):
+        orphan = tmp_path / "res.json"
+        orphan.write_text("{}")
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["stats", str(orphan)])
