@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Performance baseline for the suite runner: serial vs parallel.
+
+Runs the fixed-seed classified suite twice — serially and on a process pool
+— and writes ``BENCH_perf_suite.json`` with the wall times, the speedup,
+and per-heuristic timing from the metrics registry.  This file is the
+tracked perf baseline later PRs are measured against.
+
+Hard acceptance bound (always enforced, ``--quick`` included): the parallel
+run's serialized results must be **byte-identical** to the serial run's.
+The wall-clock bound (parallel >= 2x faster at 4+ jobs) is enforced only on
+machines with at least 4 CPUs and outside ``--quick`` mode — timing on
+starved CI runners is noise, divergence never is.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py            # full baseline
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --quick --jobs 2
+
+Exit codes: 0 ok; 1 serial/parallel divergence; 2 speedup bound missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.parallel import resolve_jobs, run_suite_parallel
+from repro.experiments.persistence import save_results
+from repro.experiments.runner import run_suite
+from repro.generation.suites import generate_suite
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+SEED = 19940815
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _serialized(results, scratch: Path) -> bytes:
+    save_results(results, scratch)
+    return scratch.read_bytes()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small suite for CI smoke runs; checks divergence, never timing",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel worker count (default: all available CPUs)",
+    )
+    parser.add_argument(
+        "--graphs-per-cell",
+        type=int,
+        default=None,
+        help="override suite size (default: 1 quick, 4 full)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(OUT_DIR / "BENCH_perf_suite.json"),
+        help="baseline JSON path (only written on full runs unless --force-write)",
+    )
+    parser.add_argument(
+        "--force-write",
+        action="store_true",
+        help="write the baseline JSON even in --quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    per_cell = args.graphs_per_cell or (1 if args.quick else 4)
+    n_range = (20, 40) if args.quick else (40, 100)
+    jobs = resolve_jobs(args.jobs)
+    cpus = _available_cpus()
+
+    print(
+        f"suite: {per_cell}/cell ({per_cell * 60} graphs), "
+        f"sizes {n_range[0]}-{n_range[1]}, seed {SEED}; "
+        f"jobs={jobs}, cpus={cpus}",
+        flush=True,
+    )
+    suite = list(
+        generate_suite(graphs_per_cell=per_cell, seed=SEED, n_tasks_range=n_range)
+    )
+
+    serial_registry = MetricsRegistry()
+    with use_registry(serial_registry):
+        t0 = perf_counter()
+        serial = run_suite(suite, seed=SEED)
+        serial_s = perf_counter() - t0
+    print(f"serial:   {serial_s:8.3f}s  ({len(serial) / serial_s:.1f} graphs/s)")
+
+    with use_registry(MetricsRegistry()):
+        t0 = perf_counter()
+        parallel = run_suite_parallel(suite, seed=SEED, jobs=jobs)
+        parallel_s = perf_counter() - t0
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"parallel: {parallel_s:8.3f}s  ({len(parallel) / parallel_s:.1f} graphs/s)"
+        f"  -> speedup {speedup:.2f}x at jobs={jobs}"
+    )
+
+    OUT_DIR.mkdir(exist_ok=True)
+    scratch = OUT_DIR / ".bench_perf_scratch.json"
+    try:
+        identical = _serialized(serial, scratch) == _serialized(parallel, scratch)
+    finally:
+        scratch.unlink(missing_ok=True)
+    print(f"serial vs parallel results byte-identical: {identical}")
+
+    timers = serial_registry.snapshot()["timers"]
+    per_heuristic = {
+        name.removeprefix("scheduler."): stats
+        for name, stats in sorted(timers.items())
+        if name.startswith("scheduler.") and not name.endswith(".errors")
+    }
+    for name, stats in per_heuristic.items():
+        print(
+            f"  {name:8s} {stats['total_s'] * 1e3:9.1f}ms total "
+            f"{stats['mean_s'] * 1e3:8.3f}ms/graph"
+        )
+
+    payload = {
+        "format": "repro-bench-perf-suite",
+        "version": 1,
+        "quick": args.quick,
+        "params": {
+            "graphs_per_cell": per_cell,
+            "n_graphs": len(suite),
+            "n_tasks_range": list(n_range),
+            "seed": SEED,
+            "jobs": jobs,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+            "cpus": cpus,
+        },
+        "serial_wall_s": round(serial_s, 4),
+        "parallel_wall_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "results_identical": identical,
+        "per_heuristic_timing": per_heuristic,
+    }
+    if not args.quick or args.force_write:
+        out = Path(args.out)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote baseline to {out}")
+
+    if not identical:
+        print("FAIL: parallel results diverge from serial", file=sys.stderr)
+        return 1
+    if not args.quick and cpus >= 4 and jobs >= 4 and speedup < 2.0:
+        print(
+            f"FAIL: speedup {speedup:.2f}x < 2x with {cpus} cpus at jobs={jobs}",
+            file=sys.stderr,
+        )
+        return 2
+    if cpus < 4:
+        print(
+            f"note: {cpus} cpu(s) available — the 2x speedup bound needs >= 4 "
+            "and was not enforced"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -153,6 +153,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "graphs_per_cell": args.graphs_per_cell,
             "n_tasks_range": [args.nmin, args.nmax],
             "loaded_from": args.load,
+            "jobs": args.jobs,
         },
     )
     with _trace_run(args.trace):
@@ -170,7 +171,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 )
             progress = obs.log_progress if args.progress else None
             with manifest.phase("schedule"):
-                results = run_suite(suite, progress=progress, seed=args.seed)
+                results = run_suite(
+                    suite, progress=progress, seed=args.seed, jobs=args.jobs
+                )
         if args.save:
             with manifest.phase("save"):
                 save_results(results, args.save)
@@ -218,6 +221,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             graphs_per_cell=args.graphs_per_cell,
             seed=args.seed,
             n_tasks_range=(args.nmin, args.nmax),
+            jobs=args.jobs,
         )
     if args.output:
         with open(args.output, "w") as fh:
@@ -299,6 +303,28 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_arg(text: str) -> int:
+    """argparse type for ``--jobs``: an int >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {value}")
+    return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes for the suite run (default 1 = serial; "
+        "N>=2 schedules graphs on a process pool with identical results)",
+    )
+
+
 def _parse_ids(spec: str, known: dict) -> list[int]:
     ids = [int(x) for x in spec.split(",") if x.strip()]
     bad = [i for i in ids if i not in known]
@@ -368,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nmin", type=int, default=40)
     p.add_argument("--nmax", type=int, default=100)
     p.add_argument("-o", "--output", help="write to file instead of stdout")
+    _add_jobs_flag(p)
     p.add_argument(
         "--trace", help="capture a span trace of the run to this path"
     )
@@ -400,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log suite progress (count, elapsed, graphs/s, ETA)",
     )
+    _add_jobs_flag(p)
     p.add_argument("--save", help="save raw results JSON to this path")
     p.add_argument("--load", help="skip the run; load results JSON from this path")
     p.add_argument(

@@ -1,6 +1,7 @@
 """Core substrate: task graphs, analysis, metrics, schedules, simulator."""
 
 from .analysis import (
+    GraphAnalysis,
     alap_times,
     asap_times,
     b_levels,
@@ -38,6 +39,7 @@ __all__ = [
     "simulate_ordered",
     "simulate_clustering",
     "serial_schedule",
+    "GraphAnalysis",
     "t_levels",
     "b_levels",
     "hu_levels",

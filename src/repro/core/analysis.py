@@ -18,6 +18,7 @@ These are the shared quantities the heuristics are built from:
 from __future__ import annotations
 
 from collections.abc import Mapping
+from types import MappingProxyType
 
 from .exceptions import GraphError
 from .taskgraph import Task, TaskGraph
@@ -31,7 +32,53 @@ __all__ = [
     "critical_path",
     "critical_path_length",
     "dominant_path_length",
+    "GraphAnalysis",
 ]
+
+# ----------------------------------------------------------------------
+# cached kernels
+#
+# The public functions below memoize their results on the graph itself
+# (:meth:`TaskGraph.cached`), keyed by (quantity, communication flag), so a
+# suite run that schedules one graph with five heuristics computes each
+# traversal once instead of once per heuristic.  The memo table is dropped
+# by any graph mutation.  ``_raw`` helpers return the *shared* cached dict:
+# internal read-only consumers (and :class:`GraphAnalysis`) use them
+# directly, while the public functions hand out fresh copies so existing
+# callers may keep mutating their results.
+# ----------------------------------------------------------------------
+
+
+def _t_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
+    def compute() -> dict[Task, float]:
+        tl: dict[Task, float] = {}
+        weight = graph.weight
+        for t in graph.topological_order():
+            best = 0.0
+            for p, c in graph.in_edges(t).items():
+                cand = tl[p] + weight(p) + (c if communication else 0.0)
+                if cand > best:
+                    best = cand
+            tl[t] = best
+        return tl
+
+    return graph.cached(("t_levels", communication), compute)
+
+
+def _b_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
+    def compute() -> dict[Task, float]:
+        bl: dict[Task, float] = {}
+        weight = graph.weight
+        for t in reversed(graph.topological_order()):
+            best = 0.0
+            for s, c in graph.out_edges(t).items():
+                cand = bl[s] + (c if communication else 0.0)
+                if cand > best:
+                    best = cand
+            bl[t] = best + weight(t)
+        return bl
+
+    return graph.cached(("b_levels", communication), compute)
 
 
 def t_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
@@ -39,29 +86,18 @@ def t_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, floa
 
     ``communication=True`` counts edge weights along paths (the model where
     every edge crosses processors); ``False`` counts node weights only.
+    The traversal is memoized per graph version; each call returns a fresh
+    dict.
     """
-    tl: dict[Task, float] = {}
-    for t in graph.topological_order():
-        best = 0.0
-        for p, c in graph.in_edges(t).items():
-            cand = tl[p] + graph.weight(p) + (c if communication else 0.0)
-            if cand > best:
-                best = cand
-        tl[t] = best
-    return tl
+    return dict(_t_levels_raw(graph, communication))
 
 
 def b_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
-    """Longest task-to-sink path length including the task's own weight."""
-    bl: dict[Task, float] = {}
-    for t in reversed(graph.topological_order()):
-        best = 0.0
-        for s, c in graph.out_edges(t).items():
-            cand = bl[s] + (c if communication else 0.0)
-            if cand > best:
-                best = cand
-        bl[t] = best + graph.weight(t)
-    return bl
+    """Longest task-to-sink path length including the task's own weight.
+
+    Memoized per graph version; each call returns a fresh dict.
+    """
+    return dict(_b_levels_raw(graph, communication))
 
 
 def hu_levels(graph: TaskGraph) -> dict[Task, float]:
@@ -71,7 +107,7 @@ def hu_levels(graph: TaskGraph) -> dict[Task, float]:
 
 def critical_path_length(graph: TaskGraph, *, communication: bool = True) -> float:
     """Weight of the heaviest source-to-sink path (0 for an empty graph)."""
-    bl = b_levels(graph, communication=communication)
+    bl = _b_levels_raw(graph, communication)
     return max((bl[s] for s in graph.sources()), default=0.0)
 
 
@@ -88,7 +124,7 @@ def critical_path(graph: TaskGraph, *, communication: bool = True) -> list[Task]
     """
     if graph.n_tasks == 0:
         return []
-    bl = b_levels(graph, communication=communication)
+    bl = _b_levels_raw(graph, communication)
     node = max(graph.sources(), key=lambda s: (bl[s],))
     path = [node]
     while graph.out_degree(node):
@@ -124,13 +160,82 @@ def alap_times(
     time of every critical task equal to its ASAP time.  MCP (appendix A.2)
     computes these with all communication costs assumed incurred.
     """
-    bl = b_levels(graph, communication=communication)
+    bl = _b_levels_raw(graph, communication)
     cp = max(bl.values(), default=0.0)
     if deadline is None:
         deadline = cp
     elif deadline < cp:
         raise GraphError(f"deadline {deadline} below critical path length {cp}")
     return {t: deadline - bl[t] for t in graph.tasks()}
+
+
+class GraphAnalysis:
+    """Zero-copy memoized path analyses of one graph.
+
+    Wraps a :class:`TaskGraph` and serves ``t_levels`` / ``b_levels`` /
+    ``alap_times`` / the topological order as **read-only mappings/tuples**
+    backed by the graph's own memo table — no per-call copies, unlike the
+    module-level functions.  The wrapper stamps the graph's
+    :attr:`~TaskGraph.version` at construction and refuses to serve after a
+    mutation (use :meth:`refresh` or build a new instance), so a scheduler
+    holding one across a run can never read stale levels.
+    """
+
+    __slots__ = ("graph", "_stamp")
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        self._stamp = graph.version
+
+    def _check(self) -> TaskGraph:
+        if self.graph.version != self._stamp:
+            raise GraphError(
+                "GraphAnalysis is stale: the graph was mutated "
+                f"(version {self.graph.version} != stamped {self._stamp}); "
+                "call refresh() after mutating"
+            )
+        return self.graph
+
+    def refresh(self) -> "GraphAnalysis":
+        """Re-stamp after a deliberate mutation; memos rebuild lazily."""
+        self._stamp = self.graph.version
+        return self
+
+    @property
+    def stale(self) -> bool:
+        """Whether the underlying graph has mutated since stamping."""
+        return self.graph.version != self._stamp
+
+    def topological_order(self) -> tuple[Task, ...]:
+        graph = self._check()
+        return graph.cached(
+            "topological_order_t", lambda: tuple(graph.topological_order())
+        )
+
+    def t_levels(self, *, communication: bool = True) -> Mapping[Task, float]:
+        return MappingProxyType(_t_levels_raw(self._check(), communication))
+
+    def b_levels(self, *, communication: bool = True) -> Mapping[Task, float]:
+        return MappingProxyType(_b_levels_raw(self._check(), communication))
+
+    def hu_levels(self) -> Mapping[Task, float]:
+        return self.b_levels(communication=False)
+
+    def critical_path_length(self, *, communication: bool = True) -> float:
+        return critical_path_length(self._check(), communication=communication)
+
+    def alap_times(self, *, communication: bool = True) -> Mapping[Task, float]:
+        graph = self._check()
+        return MappingProxyType(
+            graph.cached(
+                ("alap_times", communication),
+                lambda: alap_times(graph, communication=communication),
+            )
+        )
+
+    def __repr__(self) -> str:
+        state = "stale" if self.stale else "fresh"
+        return f"GraphAnalysis({self.graph!r}, {state})"
 
 
 def validate_levels(graph: TaskGraph, tl: Mapping[Task, float], bl: Mapping[Task, float]) -> None:

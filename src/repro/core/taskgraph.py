@@ -12,7 +12,8 @@ interoperability and for the generators that lean on networkx utilities.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping
+from types import MappingProxyType
 from typing import Any
 
 import networkx as nx
@@ -34,14 +35,56 @@ class TaskGraph:
     The class does not *enforce* acyclicity on every mutation (that would make
     construction quadratic); call :meth:`validate` or :meth:`topological_order`
     to check.  All library entry points validate their inputs.
+
+    Derived-value caching: expensive read-only analyses (topological order,
+    validation, the path analyses of :mod:`repro.core.analysis`) are memoized
+    per graph through :meth:`cached`.  Every mutation (:meth:`add_task`,
+    :meth:`add_edge`, :meth:`remove_edge`, :meth:`remove_task`) bumps
+    :attr:`version` and drops the memo table, so a stale value can never be
+    observed — see DESIGN.md "Caching and invalidation".
     """
 
-    __slots__ = ("_succ", "_pred", "_weight")
+    __slots__ = ("_succ", "_pred", "_weight", "_version", "_scratch")
 
     def __init__(self) -> None:
         self._succ: dict[Task, dict[Task, float]] = {}
         self._pred: dict[Task, dict[Task, float]] = {}
         self._weight: dict[Task, float] = {}
+        #: Mutation counter; bumped (and the memo table dropped) on any change.
+        self._version: int = 0
+        #: Memo table for derived values; keys are owned by the computing code.
+        self._scratch: dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # derived-value cache
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural change).
+
+        Equal versions on the same object guarantee identical structure, so
+        externally-held analyses (:class:`repro.core.analysis.GraphAnalysis`)
+        can stamp-check their memos.
+        """
+        return self._version
+
+    def _mutated(self) -> None:
+        self._version += 1
+        if self._scratch:
+            self._scratch.clear()
+
+    def cached(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the memoized value for ``key``, computing it on first use.
+
+        The memo table is invalidated wholesale by any mutation.  Values are
+        returned by reference: callers must treat them as immutable (the
+        analysis helpers copy before handing values out to user code).
+        """
+        try:
+            return self._scratch[key]
+        except KeyError:
+            value = self._scratch[key] = compute()
+            return value
 
     # ------------------------------------------------------------------
     # construction
@@ -56,6 +99,7 @@ class TaskGraph:
             self._succ[task] = {}
             self._pred[task] = {}
         self._weight[task] = float(weight)
+        self._mutated()
 
     def add_edge(self, u: Task, v: Task, weight: float = 0.0) -> None:
         """Add a dependence edge ``u -> v`` with the given communication cost.
@@ -72,6 +116,7 @@ class TaskGraph:
         _check_weight(weight, "edge weight")
         self._succ[u][v] = float(weight)
         self._pred[v][u] = float(weight)
+        self._mutated()
 
     def remove_edge(self, u: Task, v: Task) -> None:
         """Remove the edge ``u -> v``; error if absent."""
@@ -80,6 +125,7 @@ class TaskGraph:
             del self._pred[v][u]
         except KeyError:
             raise GraphError(f"no edge {u!r} -> {v!r}") from None
+        self._mutated()
 
     def remove_task(self, task: Task) -> None:
         """Remove a task and all incident edges."""
@@ -92,6 +138,7 @@ class TaskGraph:
         del self._succ[task]
         del self._pred[task]
         del self._weight[task]
+        self._mutated()
 
     @classmethod
     def from_weights(
@@ -202,13 +249,22 @@ class TaskGraph:
         except KeyError:
             raise GraphError(f"unknown task {task!r}") from None
 
-    def out_edges(self, task: Task) -> dict[Task, float]:
-        """``{successor: edge weight}`` — a copy, safe to mutate."""
-        return dict(self._succ[task])
+    def out_edges(self, task: Task) -> Mapping[Task, float]:
+        """``{successor: edge weight}`` as a **read-only view**.
 
-    def in_edges(self, task: Task) -> dict[Task, float]:
-        """``{predecessor: edge weight}`` — a copy, safe to mutate."""
-        return dict(self._pred[task])
+        The view is zero-copy (schedulers call this once per edge-relaxation
+        on hot paths); writes raise ``TypeError``.  Call ``dict(...)`` on the
+        result if you need a mutable copy.  The view reflects later graph
+        mutations — snapshot it if you mutate while iterating.
+        """
+        return MappingProxyType(self._succ[task])
+
+    def in_edges(self, task: Task) -> Mapping[Task, float]:
+        """``{predecessor: edge weight}`` as a **read-only view**.
+
+        Same contract as :meth:`out_edges`.
+        """
+        return MappingProxyType(self._pred[task])
 
     def out_degree(self, task: Task) -> int:
         """Number of outgoing edges."""
@@ -237,8 +293,12 @@ class TaskGraph:
         """Kahn's algorithm; raises :class:`CycleError` on a cycle.
 
         Deterministic for a given construction order (insertion order of the
-        underlying dicts is preserved).
+        underlying dicts is preserved).  The order is computed once per graph
+        version and memoized; callers receive a fresh list each call.
         """
+        return list(self.cached("topological_order", self._topological_order))
+
+    def _topological_order(self) -> list[Task]:
         indeg = {t: len(self._pred[t]) for t in self._weight}
         ready = [t for t in self._weight if indeg[t] == 0]
         order: list[Task] = []
@@ -262,7 +322,15 @@ class TaskGraph:
         return True
 
     def validate(self) -> None:
-        """Check structural invariants; raise :class:`GraphError` if violated."""
+        """Check structural invariants; raise :class:`GraphError` if violated.
+
+        A successful validation is memoized per graph version, so repeated
+        validation of an unmutated graph (every scheduler validates its
+        input) is O(1) after the first call.
+        """
+        self.cached("validated", self._validate)
+
+    def _validate(self) -> bool:
         for u, d in self._succ.items():
             for v, w in d.items():
                 if self._pred[v].get(u) != w:
@@ -271,6 +339,7 @@ class TaskGraph:
         if n_back != self.n_edges:
             raise GraphError("succ/pred edge count mismatch")
         self.topological_order()  # raises CycleError on cycles
+        return True
 
     def ancestors(self, task: Task) -> set[Task]:
         """All tasks with a directed path to ``task`` (excluding itself)."""
@@ -364,6 +433,25 @@ class TaskGraph:
                 lines.append(f'  "{u}" -> "{v}" [label="{w:g}"];')
         lines.append("}")
         return "\n".join(lines)
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle only the primary structure.
+
+        The predecessor map is derivable and the memo table is process-local
+        state, so both are dropped — this keeps the payloads the parallel
+        suite runner ships to worker processes minimal.
+        """
+        return {"weight": self._weight, "succ": self._succ}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._weight = state["weight"]
+        self._succ = state["succ"]
+        self._pred = {t: {} for t in self._weight}
+        for u, d in self._succ.items():
+            for v, w in d.items():
+                self._pred[v][u] = w
+        self._version = 0
+        self._scratch = {}
 
     def __repr__(self) -> str:
         return f"TaskGraph(n_tasks={self.n_tasks}, n_edges={self.n_edges})"

@@ -9,6 +9,7 @@ from .persistence import (
     save_results,
     save_suite,
 )
+from .parallel import resolve_jobs, run_suite_parallel
 from .report import full_report, render_report
 from .significance import PairedComparison, compare_heuristics, comparison_matrix
 from .reporting import ResultTable, ascii_chart
@@ -17,6 +18,8 @@ from .tables import ALL_TABLES
 
 __all__ = [
     "run_suite",
+    "run_suite_parallel",
+    "resolve_jobs",
     "evaluate_graph",
     "PAPER_HEURISTIC_ORDER",
     "GraphResult",

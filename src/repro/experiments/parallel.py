@@ -1,0 +1,214 @@
+"""Parallel suite execution over a process pool.
+
+The testbed's workload is embarrassingly parallel — every suite graph is
+scheduled independently — so :func:`run_suite_parallel` fans chunks of the
+suite out to ``jobs`` worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor` and reassembles the results
+**in suite order**, regardless of completion order.  Because every graph is
+evaluated by the exact same code path as the serial runner
+(:func:`repro.experiments.runner._graph_result`) and the heuristics are
+deterministic, a parallel run's results are identical to a serial run's —
+``bench_perf_suite.py`` enforces byte-identical serialized output as its
+acceptance bound.
+
+Observability across the process boundary:
+
+* each worker runs against its **own** fresh
+  :class:`~repro.obs.metrics.MetricsRegistry`; its snapshot is returned with
+  the chunk's results and merged into the parent registry, so per-heuristic
+  timers and algorithm counters aggregate exactly as in a serial run;
+* when the parent's tracer is enabled, workers record spans into their own
+  tracer sharing the parent's epoch (``perf_counter`` is system-wide
+  monotonic on the platforms we support) and the events are folded into the
+  parent trace, tagged with the worker's real pid;
+* ``progress`` callbacks fire in the parent as chunks complete, once per
+  graph, with a monotonically increasing count — completion order may
+  differ from suite order, but the final result list never does.
+
+Graceful degradation: ``jobs=1``, a 0/1-graph suite, or schedulers that
+cannot be pickled (e.g. closures built in a test) silently use the serial
+path — correctness first, parallelism when possible.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from time import perf_counter
+
+from ..generation.suites import SuiteGraph
+from ..obs.log import ProgressStats, get_logger
+from ..obs.metrics import MetricsRegistry, get_registry, use_registry
+from ..obs.trace import Tracer, get_tracer, use_tracer
+from ..schedulers.base import Scheduler, paper_schedulers
+
+__all__ = ["run_suite_parallel", "resolve_jobs", "default_chunk_size"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None`` means all available CPUs.
+
+    Raises ``ValueError`` for anything below 1.
+    """
+    if jobs is None:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # platforms without sched_getaffinity
+            return max(1, os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def default_chunk_size(n_graphs: int, jobs: int) -> int:
+    """Graphs per dispatched chunk.
+
+    Aim for ~4 chunks per worker (amortizes pickling without starving the
+    pool near the end of the suite), capped so progress stays responsive.
+    """
+    return max(1, min(32, -(-n_graphs // (jobs * 4))))
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def _run_chunk(
+    chunk_index: int,
+    chunk: list[SuiteGraph],
+    schedulers: Sequence[Scheduler],
+    validate: bool,
+    seed: int | None,
+    trace_enabled: bool,
+    trace_epoch: float,
+) -> tuple[int, list, dict, list[dict]]:
+    """Worker entry: evaluate one chunk against fresh obs sinks."""
+    from .runner import _graph_result
+
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=trace_enabled)
+    tracer._epoch = trace_epoch  # align worker span timestamps with parent
+    results = []
+    with use_registry(registry), use_tracer(tracer):
+        for sg in chunk:
+            results.append(
+                _graph_result(
+                    sg, schedulers, validate=validate, seed=seed, tracer=tracer
+                )
+            )
+    events = tracer.events
+    if events:
+        pid = os.getpid()
+        for event in events:
+            event["pid"] = pid
+    return chunk_index, results, registry.snapshot(), events
+
+
+def run_suite_parallel(
+    suite: Iterable[SuiteGraph],
+    schedulers: Sequence[Scheduler] | None = None,
+    *,
+    validate: bool = False,
+    progress: Callable | None = None,
+    seed: int | None = None,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+) -> list:
+    """Evaluate the suite on ``jobs`` worker processes.
+
+    Same contract as :func:`repro.experiments.runner.run_suite` (which
+    delegates here for ``jobs != 1``): returns one
+    :class:`~repro.experiments.measures.GraphResult` per suite graph, in
+    suite order, identical to what the serial path produces.
+    """
+    from .runner import _accepts_stats, run_suite
+
+    suite = list(suite)
+    if schedulers is None:
+        schedulers = paper_schedulers()
+    jobs = resolve_jobs(jobs)
+    jobs = min(jobs, max(1, len(suite)))
+    if jobs == 1:
+        return run_suite(
+            suite,
+            schedulers,
+            validate=validate,
+            progress=progress,
+            seed=seed,
+            jobs=1,
+        )
+    if not (_picklable(list(schedulers)) and _picklable(suite[0])):
+        get_logger("parallel").warning(
+            "schedulers or suite graphs are not picklable; "
+            "falling back to serial execution"
+        )
+        return run_suite(
+            suite,
+            schedulers,
+            validate=validate,
+            progress=progress,
+            seed=seed,
+            jobs=1,
+        )
+
+    tracer = get_tracer()
+    registry = get_registry()
+    total = len(suite)
+    size = chunk_size if chunk_size else default_chunk_size(total, jobs)
+    chunks = [suite[i : i + size] for i in range(0, total, size)]
+    per_chunk: list[list | None] = [None] * len(chunks)
+    with_stats = progress is not None and _accepts_stats(progress)
+    start = perf_counter()
+    done = 0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(
+                _run_chunk,
+                i,
+                chunk,
+                schedulers,
+                validate,
+                seed,
+                tracer.enabled,
+                tracer._epoch,
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        for future in as_completed(futures):
+            index, results, snapshot, events = future.result()
+            per_chunk[index] = results
+            registry.merge(snapshot)
+            if events:
+                tracer.events.extend(events)
+            if progress is not None:
+                for gr in results:
+                    done += 1
+                    if with_stats:
+                        elapsed = perf_counter() - start
+                        progress(
+                            done,
+                            gr,
+                            ProgressStats(
+                                done=done,
+                                total=total,
+                                elapsed=elapsed,
+                                rate=done / elapsed if elapsed > 0 else 0.0,
+                            ),
+                        )
+                    else:
+                        progress(done, gr)
+            else:
+                done += len(results)
+
+    ordered = [gr for chunk in per_chunk for gr in chunk]  # type: ignore[union-attr]
+    registry.inc("suite.graphs", len(ordered))
+    registry.inc("suite.parallel.runs")
+    registry.inc("suite.parallel.chunks", len(chunks))
+    registry.observe("suite.parallel.jobs", jobs)
+    return ordered

@@ -54,14 +54,19 @@ def full_report(
     seed: int = 19940815,
     n_tasks_range: tuple[int, int] = (40, 100),
     title: str | None = None,
+    jobs: int | None = 1,
 ) -> str:
-    """Generate the suite, run all five heuristics, render the report."""
+    """Generate the suite, run all five heuristics, render the report.
+
+    ``jobs`` is forwarded to :func:`~repro.experiments.runner.run_suite`:
+    1 runs serially, ``N > 1`` uses a process pool, ``None`` all CPUs.
+    """
     suite = generate_suite(
         graphs_per_cell=graphs_per_cell,
         seed=seed,
         n_tasks_range=n_tasks_range,
     )
-    results = run_suite(list(suite))
+    results = run_suite(list(suite), jobs=jobs)
     return render_report(
         results,
         title=title

@@ -65,9 +65,11 @@ def evaluate_graph(
     failing run can be reproduced.
     """
     out: dict[str, HeuristicResult] = {}
+    tracer = get_tracer()
+    registry = get_registry()
     for sched in schedulers:
         try:
-            schedule = sched.schedule(graph)
+            schedule = sched._schedule_observed(graph, tracer, registry)
             if validate:
                 schedule.validate(graph)
         except ReproError as exc:
@@ -80,6 +82,39 @@ def evaluate_graph(
             n_processors=schedule.n_processors,
         )
     return out
+
+
+def _graph_result(
+    sg: SuiteGraph,
+    schedulers: Sequence[Scheduler],
+    *,
+    validate: bool,
+    seed: int | None,
+    tracer,
+) -> GraphResult:
+    """Evaluate one suite graph (one ``graph.<id>`` span on ``tracer``).
+
+    Shared by the serial loop below and the process-pool workers in
+    :mod:`repro.experiments.parallel` — both paths produce results through
+    this single function, which is what makes serial and parallel runs
+    bit-identical.
+    """
+    with tracer.span("graph." + sg.graph_id, cat="suite", graph_id=sg.graph_id):
+        return GraphResult(
+            graph_id=sg.graph_id,
+            band=sg.cell.band,
+            anchor=sg.cell.anchor,
+            weight_range=sg.cell.weight_range,
+            granularity=granularity(sg.graph),
+            serial_time=sg.graph.serial_time(),
+            results=evaluate_graph(
+                sg.graph,
+                schedulers,
+                validate=validate,
+                graph_id=sg.graph_id,
+                seed=seed,
+            ),
+        )
 
 
 def _accepts_stats(progress: Callable) -> bool:
@@ -107,6 +142,7 @@ def run_suite(
     validate: bool = False,
     progress: Callable | None = None,
     seed: int | None = None,
+    jobs: int | None = 1,
 ) -> list[GraphResult]:
     """Evaluate every suite graph with every scheduler.
 
@@ -116,31 +152,38 @@ def run_suite(
     :class:`~repro.obs.log.ProgressStats` with elapsed time, graphs/sec and
     the suite total when known.  ``seed`` is metadata only — it is attached
     to error context and is *not* used to generate anything here.
+
+    ``jobs`` selects the execution strategy: 1 (the default) runs in-process
+    and serially; ``N > 1`` fans the suite out over ``N`` worker processes
+    (:mod:`repro.experiments.parallel`); ``None`` uses every available CPU.
+    Results are always returned in suite order and are identical between the
+    serial and parallel paths.
     """
+    if jobs is None or jobs != 1:
+        from .parallel import run_suite_parallel
+
+        return run_suite_parallel(
+            suite,
+            schedulers,
+            validate=validate,
+            progress=progress,
+            seed=seed,
+            jobs=jobs,
+        )
     if schedulers is None:
         schedulers = paper_schedulers()
     total = len(suite) if hasattr(suite, "__len__") else None
     with_stats = progress is not None and _accepts_stats(progress)
+    # Hoisted out of the per-graph loop: the tracer and registry are stable
+    # for the duration of a run (tests swap them *around* runs, not inside).
     tracer = get_tracer()
+    registry = get_registry()
     start = perf_counter()
     results: list[GraphResult] = []
     for sg in suite:
-        with tracer.span("graph." + sg.graph_id, cat="suite", graph_id=sg.graph_id):
-            gr = GraphResult(
-                graph_id=sg.graph_id,
-                band=sg.cell.band,
-                anchor=sg.cell.anchor,
-                weight_range=sg.cell.weight_range,
-                granularity=granularity(sg.graph),
-                serial_time=sg.graph.serial_time(),
-                results=evaluate_graph(
-                    sg.graph,
-                    schedulers,
-                    validate=validate,
-                    graph_id=sg.graph_id,
-                    seed=seed,
-                ),
-            )
+        gr = _graph_result(
+            sg, schedulers, validate=validate, seed=seed, tracer=tracer
+        )
         results.append(gr)
         if progress is not None:
             done = len(results)
@@ -158,5 +201,5 @@ def run_suite(
                 )
             else:
                 progress(done, gr)
-    get_registry().inc("suite.graphs", len(results))
+    registry.inc("suite.graphs", len(results))
     return results

@@ -73,10 +73,51 @@ class ProcessorPool:
         """Earliest start of ``task`` appended after everything on ``proc``."""
         return max(self.avail(proc), self.ready_time(task, proc))
 
+    def _arrival_bounds(
+        self, task: Task
+    ) -> tuple[dict[int, float], int, float, float]:
+        """Predecessor arrival facts, grouped by processor, in O(indeg).
+
+        Returns ``(local, top_proc, top, second)`` where ``local[q]`` is the
+        max finish time of ``task``'s predecessors placed on ``q``, and
+        ``top``/``second`` are the largest and second-largest of the
+        per-processor maxima of ``finish + c`` (``top`` achieved on
+        ``top_proc``; maxima taken across *distinct* processors).  The ready
+        time on any candidate ``p`` is then O(1):
+        ``max(local.get(p, 0), top if p != top_proc else second)`` —
+        predecessors co-located with ``p`` pay no communication, all others
+        pay theirs in full.
+        """
+        local: dict[int, float] = {}
+        comm: dict[int, float] = {}
+        finish = self.schedule.finish
+        proc_of = self.proc_of
+        for pred, c in self._graph.in_edges(task).items():
+            f = finish(pred)
+            q = proc_of[pred]
+            if f > local.get(q, -1.0):
+                local[q] = f
+            a = f + c
+            if a > comm.get(q, -1.0):
+                comm[q] = a
+        top_proc, top, second = -1, 0.0, 0.0
+        for q, a in comm.items():
+            if a > top:
+                if top_proc != -1:
+                    second = top
+                top_proc, top = q, a
+            elif a > second:
+                second = a
+        return local, top_proc, top, second
+
     def est_insertion(self, task: Task, proc: int) -> float:
         """Earliest start of ``task`` on ``proc`` allowing idle-slot insertion."""
-        duration = self._graph.weight(task)
-        ready = self.ready_time(task, proc)
+        return self._insertion_start(
+            proc, self.ready_time(task, proc), self._graph.weight(task)
+        )
+
+    def _insertion_start(self, proc: int, ready: float, duration: float) -> float:
+        """First gap on ``proc`` fitting ``duration`` at/after ``ready``."""
         if proc >= len(self._intervals):
             return ready
         cursor = ready
@@ -94,8 +135,17 @@ class ProcessorPool:
             raise ValueError("processor indices must be allocated contiguously")
         if proc == len(self._intervals):
             self._intervals.append([])
-        self.schedule.place(task, proc, start, self._graph.weight(task))
-        insort(self._intervals[proc], (start, start + self._graph.weight(task), task))
+        duration = self._graph.weight(task)
+        self.schedule.place(task, proc, start, duration)
+        intervals = self._intervals[proc]
+        entry = (start, start + duration, task)
+        # Append-only is the common case (MH/HU/ETF and non-insertion MCP
+        # never place before the last task); insort only when actually
+        # inserting into an idle slot.
+        if not intervals or entry >= intervals[-1]:
+            intervals.append(entry)
+        else:
+            insort(intervals, entry)
         self.proc_of[task] = proc
 
     def best_processor(
@@ -106,16 +156,34 @@ class ProcessorPool:
         Returns ``(proc, start)``.  Ties prefer existing processors over a
         fresh one, and lower indices first, which keeps results deterministic
         and avoids gratuitous spreading.
+
+        The scan is O(P + indeg): predecessor message arrivals are grouped
+        once (:meth:`_arrival_bounds`), then each candidate's ready time is
+        O(1) instead of an O(indeg) re-walk of the in-edges.  (Idle-slot
+        insertion additionally scans the candidate's placed intervals, as
+        before.)
         """
-        est = self.est_insertion if insertion else self.est_append
+        local, top_proc, top, second = self._arrival_bounds(task)
+        n = len(self._intervals)
+        duration = self._graph.weight(task) if insertion else 0.0
+
+        def start_on(proc: int) -> float:
+            ready = local.get(proc, 0.0)
+            cross = second if proc == top_proc else top
+            if cross > ready:
+                ready = cross
+            if insertion:
+                return self._insertion_start(proc, ready, duration)
+            return max(self.avail(proc), ready)
+
         if self.can_grow:
-            best_proc = len(self._intervals)  # the fresh-processor candidate
-            best_start = est(task, best_proc)
+            best_proc = n  # the fresh-processor candidate
+            best_start = start_on(best_proc)
         else:
             best_proc = 0
-            best_start = est(task, 0)
-        for proc in range(len(self._intervals)):
-            start = est(task, proc)
+            best_start = start_on(0)
+        for proc in range(n):
+            start = start_on(proc)
             if start < best_start - 1e-12 or (
                 abs(start - best_start) <= 1e-12 and proc < best_proc
             ):

@@ -42,10 +42,17 @@ class Scheduler(ABC):
         and — when the process tracer is enabled — recorded as exactly one
         ``schedule.<name>`` span, error paths included.
         """
+        return self._schedule_observed(graph, get_tracer(), get_registry())
+
+    def _schedule_observed(self, graph: TaskGraph, tracer, registry) -> Schedule:
+        """:meth:`schedule` with the obs sinks supplied by the caller.
+
+        The experiment runner resolves the process tracer/registry once per
+        graph and hands them to all five heuristics, instead of each
+        ``schedule`` call re-resolving the globals on the hot path.
+        """
         if graph.n_tasks == 0:
             raise GraphError(f"{self.name}: cannot schedule an empty graph")
-        tracer = get_tracer()
-        registry = get_registry()
         start = perf_counter()
         error: BaseException | None = None
         try:

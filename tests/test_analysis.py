@@ -132,3 +132,74 @@ class TestAlap:
                 alap[u] + paper_example.weight(u) + paper_example.edge_weight(u, v)
                 <= alap[v] + 1e-9
             )
+
+
+class TestAnalysisMemoization:
+    """Module-level functions memoize on the graph; copies are caller-owned."""
+
+    def test_levels_return_fresh_dicts(self, chain5):
+        tl1 = t_levels(chain5)
+        tl1[0] = 999.0  # corrupting the returned dict must not poison the memo
+        tl2 = t_levels(chain5)
+        assert tl1 is not tl2
+        assert tl2[0] == 0.0
+
+    def test_memo_invalidated_by_mutation(self, chain5):
+        bl_before = b_levels(chain5, communication=True)
+        chain5.add_task(99, 50.0)
+        chain5.add_edge(4, 99, 7.0)
+        bl_after = b_levels(chain5, communication=True)
+        assert bl_after[4] == bl_before[4] + 7.0 + 50.0
+
+    def test_communication_flags_cached_separately(self, chain5):
+        with_comm = b_levels(chain5, communication=True)
+        without = b_levels(chain5, communication=False)
+        assert with_comm != without
+
+
+class TestGraphAnalysis:
+    def test_zero_copy_and_consistent(self, paper_example):
+        from repro.core.analysis import GraphAnalysis
+
+        ga = GraphAnalysis(paper_example)
+        assert dict(ga.t_levels()) == t_levels(paper_example)
+        assert dict(ga.b_levels()) == b_levels(paper_example)
+        assert dict(ga.alap_times()) == alap_times(paper_example)
+        assert list(ga.topological_order()) == paper_example.topological_order()
+        # repeated reads serve the same backing mapping, not new copies
+        assert ga.b_levels().items() == ga.b_levels().items()
+
+    def test_mappings_are_read_only(self, paper_example):
+        from repro.core.analysis import GraphAnalysis
+
+        ga = GraphAnalysis(paper_example)
+        with pytest.raises(TypeError):
+            ga.b_levels()[1] = 0.0
+
+    def test_stale_after_mutation(self, chain5):
+        from repro.core.analysis import GraphAnalysis
+
+        ga = GraphAnalysis(chain5)
+        ga.t_levels()
+        chain5.add_task("new", 1.0)
+        assert ga.stale
+        with pytest.raises(GraphError):
+            ga.t_levels()
+
+    def test_refresh_rebuilds_lazily(self, chain5):
+        from repro.core.analysis import GraphAnalysis
+
+        ga = GraphAnalysis(chain5)
+        before = dict(ga.b_levels(communication=False))
+        chain5.add_task(99, 25.0)
+        chain5.add_edge(4, 99, 0.0)
+        ga.refresh()
+        assert not ga.stale
+        after = ga.b_levels(communication=False)
+        assert after[4] == before[4] + 25.0
+
+    def test_critical_path_length_delegates(self, chain5):
+        from repro.core.analysis import GraphAnalysis
+
+        ga = GraphAnalysis(chain5)
+        assert ga.critical_path_length() == critical_path_length(chain5)

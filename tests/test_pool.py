@@ -149,3 +149,77 @@ class TestEarliestAvailable:
         pool.place("b", 1, 17.0)
         proc, avail = pool.earliest_available_processor()
         assert proc == 0 and avail == 10.0
+
+
+def _brute_force_best(pool, task, *, insertion):
+    """The pre-optimization O(P*indeg) reference rule for best_processor."""
+    est = pool.est_insertion if insertion else pool.est_append
+    if pool.can_grow:
+        best_proc = pool.n_processors
+        best_start = est(task, best_proc)
+    else:
+        best_proc = 0
+        best_start = est(task, 0)
+    for proc in range(pool.n_processors):
+        start = est(task, proc)
+        if start < best_start - 1e-12 or (
+            abs(start - best_start) <= 1e-12 and proc < best_proc
+        ):
+            best_proc, best_start = proc, start
+    return best_proc, best_start
+
+
+class TestBestProcessorAgainstReference:
+    """Property test: the O(P + indeg) fast path must agree everywhere with
+    the brute-force per-processor re-scan it replaced."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("insertion", [False, True])
+    @pytest.mark.parametrize("max_processors", [None, 3])
+    def test_random_graphs(self, seed, insertion, max_processors):
+        import numpy as np
+
+        from repro.generation.random_dag import generate_pdg
+
+        rng = np.random.default_rng(seed)
+        g = generate_pdg(
+            rng,
+            n_tasks=int(rng.integers(10, 40)),
+            band=int(rng.integers(0, 5)),
+            anchor=int(rng.integers(2, 6)),
+            weight_range=(20, 200),
+        )
+        pool = ProcessorPool(g, max_processors=max_processors)
+        for task in g.topological_order():
+            fast = pool.best_processor(task, insertion=insertion)
+            brute = _brute_force_best(pool, task, insertion=insertion)
+            assert fast == brute, f"divergence at {task!r}: {fast} != {brute}"
+            pool.place(task, *fast)
+        pool.schedule.validate(g)
+
+    def test_zero_weight_and_zero_comm_edges(self):
+        g = TaskGraph()
+        g.add_task("a", 0.0)
+        g.add_task("b", 5.0)
+        g.add_task("c", 0.0)
+        g.add_task("d", 2.0)
+        g.add_edge("a", "b", 0.0)
+        g.add_edge("a", "c", 3.0)
+        g.add_edge("b", "d", 0.0)
+        g.add_edge("c", "d", 4.0)
+        for insertion in (False, True):
+            pool = ProcessorPool(g)
+            for task in g.topological_order():
+                fast = pool.best_processor(task, insertion=insertion)
+                assert fast == _brute_force_best(pool, task, insertion=insertion)
+                pool.place(task, *fast)
+
+    def test_ties_prefer_low_existing_processor(self, graph):
+        pool = ProcessorPool(graph)
+        pool.place("a", 0, 0.0)
+        # b and c both ready at 17 on fresh processors (finish 10 + comm 7/3
+        # vs waiting on p0): check agreement and determinism of the tie rule
+        for task in ("b", "c"):
+            fast = pool.best_processor(task)
+            assert fast == _brute_force_best(pool, task, insertion=False)
+            pool.place(task, *fast)

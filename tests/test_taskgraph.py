@@ -127,10 +127,16 @@ class TestQueries:
             with pytest.raises(GraphError):
                 fn("missing")
 
-    def test_out_edges_returns_copy(self, diamond):
+    def test_out_edges_is_read_only_view(self, diamond):
         edges = diamond.out_edges("a")
-        edges["b"] = 999
+        with pytest.raises(TypeError):
+            edges["b"] = 999
         assert diamond.edge_weight("a", "b") == 4.0
+        assert dict(diamond.in_edges("b")) == {"a": 4.0}
+        # the view is live: it reflects later mutations of the graph
+        diamond.add_task("z")
+        diamond.add_edge("a", "z", 1.0)
+        assert edges["z"] == 1.0
 
     def test_sources_sinks(self, diamond, chain5):
         assert diamond.sources() == ["a"]
@@ -260,3 +266,78 @@ class TestInterop:
         dot = diamond.to_dot()
         assert dot.startswith("digraph")
         assert '"a" -> "b"' in dot
+
+
+class TestDerivedValueCache:
+    """The versioned memo table behind topological_order/validate/levels."""
+
+    def test_version_bumps_on_every_mutation(self):
+        g = TaskGraph()
+        v0 = g.version
+        g.add_task("a")
+        g.add_task("b")
+        assert g.version > v0
+        v1 = g.version
+        g.add_edge("a", "b", 2.0)
+        assert g.version > v1
+        v2 = g.version
+        g.remove_edge("a", "b")
+        assert g.version > v2
+        v3 = g.version
+        g.remove_task("b")
+        assert g.version > v3
+
+    def test_weight_update_bumps_version(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        v = g.version
+        g.add_task("a", 5.0)  # re-add updates the weight in place
+        assert g.version > v
+
+    def test_topological_order_is_memoized(self, diamond):
+        first = diamond.topological_order()
+        assert diamond._scratch["topological_order"] is not first  # copies out
+        assert diamond.topological_order() == first
+
+    def test_cached_returns_shared_value_until_mutation(self, diamond):
+        calls = []
+        value1 = diamond.cached("probe", lambda: calls.append(1) or [1, 2])
+        value2 = diamond.cached("probe", lambda: calls.append(2) or [3, 4])
+        assert value1 is value2 and calls == [1]
+        diamond.add_task("zz")
+        value3 = diamond.cached("probe", lambda: calls.append(3) or [5, 6])
+        assert value3 == [5, 6] and calls == [1, 3]
+
+    def test_add_edge_invalidates_topological_order(self):
+        g = TaskGraph()
+        for t in ("a", "b", "c"):
+            g.add_task(t)
+        g.add_edge("a", "b")
+        order = g.topological_order()
+        assert order.index("a") < order.index("b")
+        # "c" currently unconstrained; force it before "a" and re-ask
+        g.add_edge("c", "a")
+        order = g.topological_order()
+        assert order.index("c") < order.index("a") < order.index("b")
+
+    def test_remove_edge_invalidates_cycle_verdict(self):
+        g = TaskGraph()
+        g.add_task("a")
+        g.add_task("b")
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")  # cycle (the class defers acyclicity checks)
+        assert not g.is_dag()
+        g.remove_edge("b", "a")
+        assert g.is_dag()
+
+    def test_validate_memoized_but_invalidated(self, diamond):
+        diamond.validate()
+        assert diamond._scratch.get("validated") is True
+        diamond.add_task("z")
+        assert "validated" not in diamond._scratch
+        diamond.validate()
+
+    def test_returned_order_is_caller_owned(self, diamond):
+        order = diamond.topological_order()
+        order.clear()  # must not corrupt the memoized copy
+        assert diamond.topological_order() == diamond._topological_order()
