@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""End-to-end fault-tolerance smoke: injected faults, resume, degradation.
+
+Run by the CI ``fault-smoke`` job (and by hand before long campaigns)::
+
+    PYTHONPATH=src python benchmarks/smoke_fault_tolerance.py
+
+Three scenarios, each asserting the fault layer's contract:
+
+1. **Injected faults** — a suite run with one hanging heuristic call (under
+   a wall-clock budget) and two injected raises completes, records a
+   ``FailureRecord`` for exactly the injected faults (identically on the
+   serial and parallel paths), and still renders every table.
+2. **Interrupt + resume** — a checkpointed run killed mid-suite leaves its
+   journal intact; resuming from the journal produces a results file
+   byte-identical to an uninterrupted run's.
+3. **Degraded reporting** — partial results render tables with per-class
+   sample annotations and a failure report, and the failure rate respects
+   an error budget.
+
+Exits 0 when every assertion holds, 1 with a diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.experiments.faults import (
+    FaultInjectingScheduler,
+    format_failure_report,
+    graph_key,
+)
+from repro.experiments.persistence import CheckpointJournal, save_results
+from repro.experiments.runner import run_suite
+from repro.experiments.tables import table3
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.schedulers.base import get_scheduler
+
+
+def build_suite():
+    cells = [SuiteCell(1, 2, (20, 100)), SuiteCell(3, 4, (20, 400))]
+    return list(
+        generate_suite(graphs_per_cell=3, cells=cells, n_tasks_range=(10, 16))
+    )
+
+
+def check(cond: bool, message: str) -> None:
+    if not cond:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {message}")
+
+
+def scenario_injected_faults(suite) -> None:
+    print("scenario 1: injected hang + two raises")
+    hang = [graph_key(suite[2].graph)]
+    raises = [graph_key(suite[1].graph), graph_key(suite[4].graph)]
+    expected = {
+        (suite[2].graph_id, "HU", "timeout", "GraphTimeoutError"),
+        (suite[1].graph_id, "MCP", "error", "ReproError"),
+        (suite[4].graph_id, "MCP", "error", "ReproError"),
+    }
+    for jobs in (1, 2):
+        schedulers = [
+            FaultInjectingScheduler("HU", fail=hang, mode="hang", hang_seconds=30.0),
+            FaultInjectingScheduler("MCP", fail=raises, mode="raise"),
+        ]
+        results = run_suite(
+            suite, schedulers, on_error="record", timeout=0.2, jobs=jobs
+        )
+        got = {fr.signature() for fr in results.failures}
+        check(got == expected, f"jobs={jobs}: exactly the injected faults recorded")
+        check(len(results) == len(suite), f"jobs={jobs}: every graph kept a survivor")
+        text = table3(results).to_text()
+        check("[n=" in text, f"jobs={jobs}: degraded table carries sample counts")
+    print(format_failure_report(results.failures))
+
+
+def scenario_interrupt_resume(suite, workdir: Path) -> None:
+    print("scenario 2: interrupt + resume, byte-identical results")
+    ckpt = workdir / "ckpt.jsonl"
+
+    def die_after_four(done, gr):
+        if done == 4:
+            raise KeyboardInterrupt
+
+    try:
+        run_suite(suite, checkpoint=ckpt, progress=die_after_four)
+    except KeyboardInterrupt:
+        pass
+    journaled, _ = CheckpointJournal(ckpt).load()
+    check(len(journaled) == 4, "journal holds the 4 graphs completed pre-kill")
+
+    resumed_path = workdir / "resumed.json"
+    full_path = workdir / "full.json"
+    save_results(run_suite(suite, checkpoint=ckpt), resumed_path)
+    save_results(run_suite(suite), full_path)
+    check(
+        resumed_path.read_bytes() == full_path.read_bytes(),
+        "resumed run byte-identical to uninterrupted run",
+    )
+
+
+def scenario_degraded_budget(suite) -> None:
+    print("scenario 3: failure rate vs error budget")
+    faulty = FaultInjectingScheduler("HU", fail=[graph_key(suite[0].graph)])
+    results = run_suite(suite, [faulty, get_scheduler("MCP")], on_error="record")
+    rate = results.failure_rate
+    check(0.0 < rate < 0.15, f"one failure out of {2 * len(suite)} evals ({rate:.1%})")
+    check(rate <= 0.10, "a 10% error budget tolerates the run")
+    check(rate > 0.01, "a 1% error budget rejects the run")
+
+
+def main() -> int:
+    suite = build_suite()
+    with tempfile.TemporaryDirectory() as tmp:
+        scenario_injected_faults(suite)
+        scenario_interrupt_resume(suite, Path(tmp))
+        scenario_degraded_budget(suite)
+    print("fault-tolerance smoke: all scenarios passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,12 @@ line format, anything else for Chrome trace-viewer JSON); ``experiment
 --save`` writes a run manifest next to the results, which ``stats``
 inspects.
 
+Fault tolerance (long campaigns): ``experiment`` accepts ``--on-error
+raise|skip|record``, ``--timeout SECONDS``, ``--retries N``,
+``--checkpoint PATH`` / ``--resume`` and ``--error-budget RATE``; a
+degraded run prints a failure report to stderr and exits 3 only when the
+failure rate exceeds the budget.
+
 Graphs are exchanged as JSON (``TaskGraph.to_dict`` format).  Also runnable
 as ``python -m repro``.
 """
@@ -144,8 +150,20 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.faults import format_failure_report
     from .experiments.persistence import load_results, save_results
 
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+    if (
+        args.checkpoint
+        and not args.resume
+        and Path(args.checkpoint).exists()
+    ):
+        raise SystemExit(
+            f"checkpoint {args.checkpoint} already exists; pass --resume to "
+            "continue that run or delete the file to start fresh"
+        )
     manifest = obs.RunManifest.collect(
         seed=args.seed,
         config={
@@ -154,6 +172,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "n_tasks_range": [args.nmin, args.nmax],
             "loaded_from": args.load,
             "jobs": args.jobs,
+            "on_error": args.on_error,
+            "timeout": args.timeout,
+            "retries": args.retries,
+            "checkpoint": args.checkpoint,
         },
     )
     with _trace_run(args.trace):
@@ -172,7 +194,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             progress = obs.log_progress if args.progress else None
             with manifest.phase("schedule"):
                 results = run_suite(
-                    suite, progress=progress, seed=args.seed, jobs=args.jobs
+                    suite,
+                    progress=progress,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    on_error=args.on_error,
+                    timeout=args.timeout,
+                    retries=args.retries,
+                    checkpoint=args.checkpoint,
                 )
         if args.save:
             with manifest.phase("save"):
@@ -196,6 +225,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             manifest.attach_metrics()
             mpath = manifest.write_for(args.save)
             print(f"wrote run manifest to {mpath}", file=sys.stderr)
+    n_failed = getattr(results, "n_failed", 0)
+    if n_failed:
+        failures = getattr(results, "failures", [])
+        if failures:
+            print(format_failure_report(failures), file=sys.stderr)
+        rate = getattr(results, "failure_rate", 0.0)
+        print(
+            f"{n_failed} failed evaluation(s), failure rate {rate:.1%} "
+            f"(budget {args.error_budget:.1%})",
+            file=sys.stderr,
+        )
+        if rate > args.error_budget:
+            return 3
     return 0
 
 
@@ -432,6 +474,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", help="skip the run; load results JSON from this path")
     p.add_argument(
         "--trace", help="capture a span trace of the run to this path"
+    )
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "record"],
+        default="raise",
+        help="failure policy: raise = abort on first failure (default); "
+        "skip = continue, count failures; record = continue and report "
+        "per-failure records",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget per schedule call; one overrun is retried, "
+        "a second quarantines the (graph, heuristic) pair",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries (with exponential backoff) for non-timeout failures",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal completed graphs to this JSONL file (fsync'd appends) "
+        "so an interrupted run can be resumed",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from an existing --checkpoint journal, skipping "
+        "already-completed graphs",
+    )
+    p.add_argument(
+        "--error-budget",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="exit non-zero only when the failure rate (failed evaluations "
+        "/ attempted) exceeds this fraction (default 0.0)",
     )
     p.set_defaults(func=_cmd_experiment)
 

@@ -1,8 +1,24 @@
 """The numerical-comparison testbed: runners, measures, tables, figures."""
 
+from .faults import (
+    FailureRecord,
+    FaultInjectingScheduler,
+    FaultPolicy,
+    GraphTimeoutError,
+    WorkerCrashError,
+    format_failure_report,
+)
 from .figures import ALL_FIGURES, FigureData
-from .measures import AggregateRow, GraphResult, HeuristicResult, aggregate
+from .measures import (
+    AggregateRow,
+    GraphResult,
+    HeuristicResult,
+    SuiteResult,
+    aggregate,
+    heuristic_names,
+)
 from .persistence import (
+    CheckpointJournal,
     load_results,
     load_suite,
     results_to_csv,
@@ -24,8 +40,17 @@ __all__ = [
     "PAPER_HEURISTIC_ORDER",
     "GraphResult",
     "HeuristicResult",
+    "SuiteResult",
     "AggregateRow",
     "aggregate",
+    "heuristic_names",
+    "FailureRecord",
+    "FaultPolicy",
+    "FaultInjectingScheduler",
+    "GraphTimeoutError",
+    "WorkerCrashError",
+    "format_failure_report",
+    "CheckpointJournal",
     "ResultTable",
     "ascii_chart",
     "FigureData",

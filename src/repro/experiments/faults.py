@@ -1,0 +1,393 @@
+"""Fault tolerance for suite execution: policies, failure records, injection.
+
+A 2100-graph campaign (the paper's full testbed) must survive a
+pathological graph, a hung heuristic or a crashed worker without losing
+hours of completed work.  This module holds the pieces the runners build
+on:
+
+* :class:`FaultPolicy` — what to do when a schedule call fails
+  (``on_error``), how long one call may run (``timeout``), and how often
+  transient failures are retried (``retries`` / ``backoff``);
+* :class:`FailureRecord` — a first-class, JSON-able description of one
+  failed ``(graph, heuristic)`` evaluation: exception type, message,
+  traceback, elapsed wall time and attempt count;
+* :func:`deadline` — a SIGALRM-based wall-clock budget around one schedule
+  call (best effort: main thread on POSIX; elsewhere the parallel runner's
+  parent-side watchdog is the backstop);
+* :class:`FaultInjectingScheduler` — a deterministic raise/hang/crash/
+  wrong-schedule wrapper used by the fault-layer tests and the CI smoke
+  job;
+* :func:`format_failure_report` — the human-readable aggregation printed
+  by the CLI after a degraded run.
+
+Timeout semantics: the budget applies to one ``Scheduler.schedule`` call.
+A call that exceeds it is retried exactly once; a second overrun
+quarantines the ``(graph, heuristic)`` pair as a ``timeout`` failure (no
+further retries, regardless of ``retries``).  Other failures are retried
+``retries`` times with exponential backoff, then recorded.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import traceback as _traceback
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..core.exceptions import ReproError
+
+__all__ = [
+    "ON_ERROR_POLICIES",
+    "FaultPolicy",
+    "FailureRecord",
+    "GraphTimeoutError",
+    "WorkerCrashError",
+    "deadline",
+    "FaultInjectingScheduler",
+    "format_failure_report",
+]
+
+#: Valid ``on_error`` values: re-raise immediately, drop failures (counted
+#: but not kept), or carry them as :class:`FailureRecord` objects.
+ON_ERROR_POLICIES = ("raise", "skip", "record")
+
+
+class GraphTimeoutError(ReproError):
+    """A schedule call exceeded its per-call wall-clock budget."""
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (segfault/oom/exit) while evaluating a graph."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the runners respond to failures during suite execution.
+
+    ``on_error``
+        ``"raise"`` (default) preserves the historical behaviour: the first
+        failure aborts the run.  ``"skip"`` continues, counting failures in
+        the metrics registry but not keeping records.  ``"record"``
+        continues and carries a :class:`FailureRecord` per failed
+        ``(graph, heuristic)`` pair on the returned suite result.
+    ``timeout``
+        Wall-clock budget in seconds for one schedule call (``None`` = no
+        budget).  One overrun is retried once; two overruns quarantine.
+    ``retries``
+        Extra attempts for non-timeout failures (default 0).
+    ``backoff``
+        Base sleep before retry ``k`` (``backoff * 2**(k-1)`` seconds).
+    """
+
+    on_error: str = "raise"
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, "
+                f"got {self.on_error!r}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+
+    @property
+    def isolates(self) -> bool:
+        """True when failures are absorbed instead of re-raised."""
+        return self.on_error != "raise"
+
+    @property
+    def keeps_records(self) -> bool:
+        return self.on_error == "record"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed evaluation, carried alongside successful results.
+
+    ``heuristic`` is ``None`` for whole-graph failures (a crashed worker
+    takes every heuristic of the graph down with it).  ``kind`` is one of
+    ``"error"`` (the heuristic or validation raised), ``"timeout"`` (the
+    per-call budget was exceeded twice) or ``"crash"`` (the worker process
+    died).
+    """
+
+    graph_id: str
+    heuristic: str | None
+    kind: str
+    exc_type: str
+    message: str
+    seed: int | None = None
+    traceback: str = ""
+    elapsed: float = 0.0
+    attempts: int = 1
+
+    def signature(self) -> tuple:
+        """The policy-determined identity of the failure.
+
+        Excludes traceback text, elapsed time and seed so serial and
+        parallel runs of the same suite produce comparable failures.
+        """
+        return (self.graph_id, self.heuristic, self.kind, self.exc_type)
+
+    def to_dict(self) -> dict:
+        return {
+            "graph_id": self.graph_id,
+            "heuristic": self.heuristic,
+            "kind": self.kind,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "seed": self.seed,
+            "traceback": self.traceback,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(
+            graph_id=data["graph_id"],
+            heuristic=data.get("heuristic"),
+            kind=data["kind"],
+            exc_type=data["exc_type"],
+            message=data["message"],
+            seed=data.get("seed"),
+            traceback=data.get("traceback", ""),
+            elapsed=data.get("elapsed", 0.0),
+            attempts=data.get("attempts", 1),
+        )
+
+    @classmethod
+    def from_exception(
+        cls,
+        exc: BaseException,
+        *,
+        graph_id: str,
+        heuristic: str | None,
+        kind: str,
+        seed: int | None = None,
+        elapsed: float = 0.0,
+        attempts: int = 1,
+    ) -> "FailureRecord":
+        return cls(
+            graph_id=graph_id,
+            heuristic=heuristic,
+            kind=kind,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            seed=seed,
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            elapsed=elapsed,
+            attempts=attempts,
+        )
+
+
+@contextmanager
+def deadline(seconds: float | None):
+    """Raise :class:`GraphTimeoutError` if the ``with`` body outlives
+    ``seconds``.
+
+    Best-effort enforcement via ``SIGALRM``: active only on the main thread
+    of a POSIX process (worker processes of the parallel runner qualify —
+    they execute tasks on their main thread).  Elsewhere the body runs
+    unbudgeted and the parallel runner's parent-side watchdog is the
+    backstop.  ``seconds=None`` disables the budget.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise GraphTimeoutError(f"schedule call exceeded {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def graph_key(graph) -> str:
+    """Deterministic structural fingerprint of a :class:`TaskGraph`.
+
+    Schedulers never see suite graph ids, so fault injection targets graphs
+    by structure; the fingerprint is stable across pickling and identical
+    in parent and worker processes.
+    """
+    import hashlib
+    import json
+
+    payload = json.dumps(graph.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+# Injection modes understood by FaultInjectingScheduler.
+_INJECT_MODES = ("raise", "hang", "wrong", "crash")
+
+
+class FaultInjectingScheduler:
+    """Deterministic failure injection around a real scheduler.
+
+    Delegates to the registered heuristic ``delegate`` except on graphs
+    whose :func:`graph_key` is in ``fail``, where it misbehaves per
+    ``mode``:
+
+    * ``"raise"`` — raise :class:`~repro.core.exceptions.ReproError`;
+    * ``"hang"``  — sleep ``hang_seconds`` (exercises timeout budgets);
+    * ``"wrong"`` — return a schedule with a corrupted task start time
+      (caught only when the caller validates);
+    * ``"crash"`` — ``os._exit(1)`` (kills the worker process; parallel
+      runner crash-recovery tests only — never use in-process).
+
+    ``fail_attempts`` limits how many times a target graph fails before the
+    delegate is used (simulating transient failures for retry tests);
+    ``None`` means always fail.  Instances are picklable; per-process
+    attempt counts start fresh in each worker, which keeps serial and
+    parallel behaviour identical for ``fail_attempts=None`` and for
+    single-dispatch retry scenarios.
+    """
+
+    def __init__(
+        self,
+        delegate: str = "HU",
+        *,
+        fail: Iterable[str] = (),
+        mode: str = "raise",
+        hang_seconds: float = 60.0,
+        fail_attempts: int | None = None,
+    ) -> None:
+        if mode not in _INJECT_MODES:
+            raise ValueError(f"mode must be one of {_INJECT_MODES}, got {mode!r}")
+        from ..schedulers.base import get_scheduler
+
+        self._delegate_name = delegate
+        self._impl = get_scheduler(delegate)
+        self.name = self._impl.name
+        self.fail = frozenset(fail)
+        self.mode = mode
+        self.hang_seconds = hang_seconds
+        self.fail_attempts = fail_attempts
+        self._attempts: dict[str, int] = {}
+
+    # Delegate the observed wrapper so timing/obs plumbing behaves like a
+    # real scheduler (the runner calls _schedule_observed directly).
+    def schedule(self, graph):
+        from ..obs.metrics import get_registry
+        from ..obs.trace import get_tracer
+
+        return self._schedule_observed(graph, get_tracer(), get_registry())
+
+    def _schedule_observed(self, graph, tracer, registry):
+        key = graph_key(graph)
+        if key in self.fail:
+            seen = self._attempts.get(key, 0)
+            if self.fail_attempts is None or seen < self.fail_attempts:
+                self._attempts[key] = seen + 1
+                return self._misbehave(graph, tracer, registry)
+        return self._impl._schedule_observed(graph, tracer, registry)
+
+    def _misbehave(self, graph, tracer, registry):
+        if self.mode == "raise":
+            raise ReproError(
+                f"injected failure ({self.name} on {graph.n_tasks}-task graph)"
+            )
+        if self.mode == "hang":
+            import time
+
+            time.sleep(self.hang_seconds)
+            raise ReproError("injected hang outlived its sleep")
+        if self.mode == "crash":
+            import os
+
+            os._exit(1)
+        # mode == "wrong": produce a real schedule, then corrupt one start
+        # time so validation (and only validation) catches it.
+        schedule = self._impl._schedule_observed(graph, tracer, registry)
+        return _corrupt_schedule(schedule)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_attempts"] = {}  # per-process transient-failure counters
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjectingScheduler({self._delegate_name!r}, mode={self.mode!r}, "
+            f"targets={len(self.fail)})"
+        )
+
+
+def _corrupt_schedule(schedule):
+    """Stretch one task's duration so it no longer matches its weight —
+    guaranteed to fail ``Schedule.validate`` while passing unvalidated use."""
+    from ..core.schedule import Schedule
+
+    bad = Schedule()
+    for i, item in enumerate(schedule):
+        stretch = 1.0 if i == 0 else 0.0
+        bad.place(
+            item.task, item.processor, item.start, item.finish - item.start + stretch
+        )
+    return bad
+
+
+@dataclass
+class FailureSummary:
+    """Aggregated view of a run's failures (one row per heuristic+kind)."""
+
+    n_failures: int = 0
+    by_heuristic_kind: dict[tuple[str, str], int] = field(default_factory=dict)
+
+
+def summarize_failures(failures: Sequence[FailureRecord]) -> FailureSummary:
+    summary = FailureSummary(n_failures=len(failures))
+    for fr in failures:
+        key = (fr.heuristic or "*", fr.kind)
+        summary.by_heuristic_kind[key] = summary.by_heuristic_kind.get(key, 0) + 1
+    return summary
+
+
+def format_failure_report(
+    failures: Sequence[FailureRecord], *, max_detail: int = 10
+) -> str:
+    """Human-readable failure report (printed by the CLI after the run).
+
+    An aggregate table (heuristic × kind × count) followed by up to
+    ``max_detail`` per-failure lines with exception type and message.
+    """
+    if not failures:
+        return "no failures recorded"
+    summary = summarize_failures(failures)
+    lines = [f"{summary.n_failures} failure(s) recorded"]
+    width = max(len(h) for h, _ in summary.by_heuristic_kind)
+    for (heuristic, kind), count in sorted(summary.by_heuristic_kind.items()):
+        lines.append(f"  {heuristic:<{width}s}  {kind:<8s} {count:5d}")
+    lines.append("details:")
+    for fr in failures[:max_detail]:
+        lines.append(
+            f"  {fr.graph_id} [{fr.heuristic or '*'}] {fr.kind}: "
+            f"{fr.exc_type}: {fr.message} "
+            f"({fr.attempts} attempt(s), {fr.elapsed:.3f}s)"
+        )
+    if len(failures) > max_detail:
+        lines.append(f"  ... and {len(failures) - max_detail} more")
+    return "\n".join(lines)

@@ -17,7 +17,14 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["HeuristicResult", "GraphResult", "AggregateRow", "aggregate"]
+__all__ = [
+    "HeuristicResult",
+    "GraphResult",
+    "SuiteResult",
+    "AggregateRow",
+    "aggregate",
+    "heuristic_names",
+]
 
 
 @dataclass(frozen=True)
@@ -67,6 +74,49 @@ class GraphResult:
         return self.speedup(name) < 1.0 - 1e-12
 
 
+class SuiteResult(list):
+    """A run's :class:`GraphResult` list plus its failure information.
+
+    Behaves exactly like the plain ``list`` the runners historically
+    returned (equality, slicing, iteration), so existing analysis code is
+    unaffected; fault-tolerant runs additionally expose
+
+    * ``failures`` — the run's ``FailureRecord`` objects (empty unless the
+      run used ``on_error="record"``),
+    * ``n_failed`` — the count of failed ``(graph, heuristic)``
+      evaluations, maintained under ``on_error="skip"`` too, where the
+      records themselves are dropped.
+    """
+
+    def __init__(self, results=(), failures=(), n_failed: int | None = None):
+        super().__init__(results)
+        self.failures = list(failures)
+        self.n_failed = len(self.failures) if n_failed is None else n_failed
+
+    @property
+    def failure_rate(self) -> float:
+        """Failed evaluations / total attempted evaluations (0.0..1.0).
+
+        The denominator counts per-``(graph, heuristic)`` attempts:
+        successful entries across all graphs plus the failures.
+        """
+        succeeded = sum(len(gr.results) for gr in self)
+        attempted = succeeded + self.n_failed
+        return self.n_failed / attempted if attempted else 0.0
+
+
+def heuristic_names(results: Iterable[GraphResult]) -> set[str]:
+    """Union of heuristic names present across ``results``.
+
+    Fault-tolerant runs may drop individual ``(graph, heuristic)`` pairs,
+    so no single graph is guaranteed to carry every heuristic.
+    """
+    names: set[str] = set()
+    for gr in results:
+        names.update(gr.results)
+    return names
+
+
 @dataclass
 class AggregateRow:
     """Aggregated measures for one heuristic over one class of graphs."""
@@ -87,13 +137,18 @@ def aggregate(
     """Group graph results by ``key_fn`` and average per heuristic.
 
     Returns ``{class key: {heuristic name: AggregateRow}}``.  Empty classes
-    simply do not appear.
+    simply do not appear.  Graphs missing a heuristic (its evaluation
+    failed under a fault-tolerant run) are skipped for that heuristic only,
+    so per-heuristic sample counts within one class may differ; a heuristic
+    with zero samples in a class yields NaN means.
     """
     sums: dict[Any, dict[str, list[float]]] = {}
     for gr in results:
         key = key_fn(gr)
         per = sums.setdefault(key, {n: [0, 0, 0.0, 0.0, 0.0, 0.0] for n in names})
         for name in names:
+            if name not in gr.results:
+                continue
             acc = per[name]
             acc[0] += 1
             acc[1] += 1 if gr.retarded(name) else 0
@@ -101,6 +156,7 @@ def aggregate(
             acc[3] += gr.efficiency(name)
             acc[4] += gr.nrpt(name)
             acc[5] += gr.results[name].n_processors
+    nan = float("nan")
     out: dict[Any, dict[str, AggregateRow]] = {}
     for key, per in sums.items():
         out[key] = {}
@@ -108,9 +164,9 @@ def aggregate(
             out[key][name] = AggregateRow(
                 n_graphs=n,
                 n_retarded=ret,
-                mean_speedup=sp / n,
-                mean_efficiency=eff / n,
-                mean_nrpt=nrpt / n,
-                mean_processors=procs / n,
+                mean_speedup=sp / n if n else nan,
+                mean_efficiency=eff / n if n else nan,
+                mean_nrpt=nrpt / n if n else nan,
+                mean_processors=procs / n if n else nan,
             )
     return out

@@ -8,16 +8,30 @@ round-trips
 
 through JSON so one expensive run feeds any number of table/figure
 rebuilds.  The CLI's ``experiment --save/--load`` uses these.
+
+Durability: :func:`save_results` and :func:`save_suite` are **atomic** —
+the payload is written to a temporary file in the destination directory,
+fsync'd, and moved into place with ``os.replace``, so a crash or ^C can
+never leave a truncated or half-written file where a good one (or nothing)
+should be.  :class:`CheckpointJournal` is the complementary incremental
+form: an append-only JSONL journal of completed graphs and absorbed
+failures with fsync'd appends, used by ``run_suite(..., checkpoint=...)``
+for interrupt/resume of long campaigns.  A torn final line (the crash
+happened mid-append) is detected and ignored on load.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from ..core.taskgraph import TaskGraph
 from ..generation.suites import SuiteCell, SuiteGraph
+from ..obs.log import get_logger
+from .faults import FailureRecord
 from .measures import GraphResult, HeuristicResult
 
 __all__ = [
@@ -26,36 +40,82 @@ __all__ = [
     "save_suite",
     "load_suite",
     "results_to_csv",
+    "CheckpointJournal",
 ]
 
 _FORMAT_VERSION = 1
 
 
+def _atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` all-or-nothing.
+
+    The bytes land in a ``*.tmp`` sibling first (same directory, so the
+    final ``os.replace`` is a same-filesystem atomic rename), are fsync'd,
+    and only then take the destination name.  On any failure the temporary
+    file is removed and the previous destination content is untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _result_to_dict(r: GraphResult) -> dict:
+    return {
+        "graph_id": r.graph_id,
+        "band": r.band,
+        "anchor": r.anchor,
+        "weight_range": list(r.weight_range),
+        "granularity": r.granularity,
+        "serial_time": r.serial_time,
+        "results": {
+            name: {
+                "parallel_time": h.parallel_time,
+                "n_processors": h.n_processors,
+            }
+            for name, h in r.results.items()
+        },
+    }
+
+
+def _result_from_dict(r: dict) -> GraphResult:
+    return GraphResult(
+        graph_id=r["graph_id"],
+        band=r["band"],
+        anchor=r["anchor"],
+        weight_range=tuple(r["weight_range"]),
+        granularity=r["granularity"],
+        serial_time=r["serial_time"],
+        results={
+            name: HeuristicResult(
+                parallel_time=h["parallel_time"],
+                n_processors=h["n_processors"],
+            )
+            for name, h in r["results"].items()
+        },
+    )
+
+
 def save_results(results: Sequence[GraphResult], path: str | Path) -> None:
-    """Write results as versioned JSON."""
+    """Write results as versioned JSON (atomic: temp file + rename)."""
     payload = {
         "format": "repro-results",
         "version": _FORMAT_VERSION,
-        "results": [
-            {
-                "graph_id": r.graph_id,
-                "band": r.band,
-                "anchor": r.anchor,
-                "weight_range": list(r.weight_range),
-                "granularity": r.granularity,
-                "serial_time": r.serial_time,
-                "results": {
-                    name: {
-                        "parallel_time": h.parallel_time,
-                        "n_processors": h.n_processors,
-                    }
-                    for name, h in r.results.items()
-                },
-            }
-            for r in results
-        ],
+        "results": [_result_to_dict(r) for r in results],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    _atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_results(path: str | Path) -> list[GraphResult]:
@@ -67,26 +127,7 @@ def load_results(path: str | Path) -> list[GraphResult]:
         raise ValueError(
             f"{path}: unsupported version {payload.get('version')!r}"
         )
-    out = []
-    for r in payload["results"]:
-        out.append(
-            GraphResult(
-                graph_id=r["graph_id"],
-                band=r["band"],
-                anchor=r["anchor"],
-                weight_range=tuple(r["weight_range"]),
-                granularity=r["granularity"],
-                serial_time=r["serial_time"],
-                results={
-                    name: HeuristicResult(
-                        parallel_time=h["parallel_time"],
-                        n_processors=h["n_processors"],
-                    )
-                    for name, h in r["results"].items()
-                },
-            )
-        )
-    return out
+    return [_result_from_dict(r) for r in payload["results"]]
 
 
 def results_to_csv(results: Sequence[GraphResult]) -> str:
@@ -110,7 +151,8 @@ def results_to_csv(results: Sequence[GraphResult]) -> str:
 def save_suite(suite: Iterable[SuiteGraph], path: str | Path) -> int:
     """Write a generated suite (graphs + classification) as JSON.
 
-    Returns the number of graphs written.
+    Atomic like :func:`save_results`.  Returns the number of graphs
+    written.
     """
     records = []
     for sg in suite:
@@ -130,7 +172,7 @@ def save_suite(suite: Iterable[SuiteGraph], path: str | Path) -> int:
         "version": _FORMAT_VERSION,
         "graphs": records,
     }
-    Path(path).write_text(json.dumps(payload))
+    _atomic_write_text(path, json.dumps(payload))
     return len(records)
 
 
@@ -158,3 +200,119 @@ def load_suite(path: str | Path) -> list[SuiteGraph]:
             )
         )
     return out
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of a suite run's completed work.
+
+    One line per event, either a completed graph's result or an absorbed
+    failure::
+
+        {"type": "result",  "v": 1, "data": {<GraphResult dict>}}
+        {"type": "failure", "v": 1, "data": {<FailureRecord dict>}}
+
+    Appends are flushed and fsync'd, so after a crash the journal contains
+    every graph whose evaluation finished, possibly followed by one torn
+    line (ignored on load).  A graph counts as *completed* for resume
+    purposes when the requested heuristic names are covered by its
+    journaled successes plus failures — at-least-once semantics: a graph
+    in flight at the time of the crash is simply re-evaluated.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(
+        self, result: GraphResult | None, failures: Sequence[FailureRecord] = ()
+    ) -> None:
+        """Journal one graph's outcome (its result and/or its failures)."""
+        for fr in failures:
+            self._append_line({"type": "failure", "v": 1, "data": fr.to_dict()})
+        if result is not None:
+            self._append_line(
+                {"type": "result", "v": 1, "data": _result_to_dict(result)}
+            )
+
+    def _append_line(self, obj: dict) -> None:
+        # No sort_keys: the nested per-heuristic results dict must keep its
+        # evaluation order so a resumed run's save_results output is
+        # byte-identical to an uninterrupted run's.
+        line = json.dumps(obj)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(
+        self,
+    ) -> tuple[dict[str, GraphResult], dict[str, list[FailureRecord]]]:
+        """All journaled results and failures, keyed by graph id.
+
+        Tolerates a torn trailing line (crash mid-append): parsing stops
+        there with a warning and everything before it is used.
+        """
+        results: dict[str, GraphResult] = {}
+        failures: dict[str, list[FailureRecord]] = {}
+        if not self.path.exists():
+            return results, failures
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                get_logger("persistence").warning(
+                    "%s:%d: torn journal line (crash mid-append?); "
+                    "ignoring it and everything after",
+                    self.path,
+                    lineno,
+                )
+                break
+            kind = obj.get("type")
+            if kind == "result":
+                gr = _result_from_dict(obj["data"])
+                results[gr.graph_id] = gr
+            elif kind == "failure":
+                fr = FailureRecord.from_dict(obj["data"])
+                failures.setdefault(fr.graph_id, []).append(fr)
+        return results, failures
+
+    def load_completed(
+        self, names: Iterable[str]
+    ) -> tuple[dict[str, GraphResult | None], list[FailureRecord]]:
+        """Resume view: graphs whose journal entries cover ``names``.
+
+        Returns ``(completed, failures)`` where ``completed`` maps graph id
+        to its journaled :class:`GraphResult` (``None`` when every
+        heuristic failed, so the graph stays absent from results on resume
+        too) and ``failures`` replays the records belonging to those
+        completed graphs.  Graphs only partially covered — e.g. journaled
+        by a run that used a different scheduler set — are re-evaluated in
+        full.
+        """
+        requested = set(names)
+        results, failures = self.load()
+        completed: dict[str, GraphResult | None] = {}
+        replay: list[FailureRecord] = []
+        for graph_id in set(results) | set(failures):
+            covered = set(results[graph_id].results) if graph_id in results else set()
+            graph_failures = failures.get(graph_id, [])
+            for fr in graph_failures:
+                if fr.heuristic is None:  # whole-graph failure (worker crash)
+                    covered |= requested
+                else:
+                    covered.add(fr.heuristic)
+            if requested <= covered:
+                completed[graph_id] = results.get(graph_id)
+                replay.extend(graph_failures)
+        return completed, replay

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from .faults import format_failure_report
 from .figures import ALL_FIGURES
-from .measures import GraphResult
+from .measures import GraphResult, heuristic_names
 from .runner import run_suite
 from .tables import ALL_TABLES
 from ..generation.suites import generate_suite
@@ -20,14 +21,26 @@ __all__ = ["render_report", "full_report"]
 
 
 def render_report(results: Sequence[GraphResult], *, title: str | None = None) -> str:
-    """Markdown report (all tables + figure series) from existing results."""
+    """Markdown report (all tables + figure series) from existing results.
+
+    Accepts partial results from a degraded (fault-tolerant) run: the
+    header then carries the failure count, tables annotate per-class
+    sample sizes, and a closing "Failures" section summarizes what was
+    lost (when the run recorded failures).
+    """
     if not results:
         raise ValueError("cannot render a report from zero results")
+    n_failed = getattr(results, "n_failed", 0)
+    failures = getattr(results, "failures", [])
+    summary = f"Graphs evaluated: **{len(results)}** | heuristics: " + ", ".join(
+        sorted(heuristic_names(results))
+    )
+    if n_failed:
+        summary += f" | failed evaluations: **{n_failed}**"
     lines = [
         f"# {title or 'Scheduling heuristic comparison report'}",
         "",
-        f"Graphs evaluated: **{len(results)}** | heuristics: "
-        + ", ".join(sorted(results[0].results)),
+        summary,
         "",
     ]
     for tid in sorted(ALL_TABLES):
@@ -43,6 +56,13 @@ def render_report(results: Sequence[GraphResult], *, title: str | None = None) -
         lines.append("")
         lines.append("```")
         lines.append(fig.to_text())
+        lines.append("```")
+        lines.append("")
+    if failures:
+        lines.append("## Failures")
+        lines.append("")
+        lines.append("```")
+        lines.append(format_failure_report(failures))
         lines.append("```")
         lines.append("")
     return "\n".join(lines)

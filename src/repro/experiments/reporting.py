@@ -95,7 +95,12 @@ def ascii_chart(
         if sym in symbols.values():
             sym = marks[i % len(marks)].lower()
         symbols[name] = sym
-    all_vals = [v for vals in series.values() for v in vals]
+    # NaN values (a heuristic with zero surviving samples in a class under
+    # a fault-tolerant run) are left unplotted instead of poisoning the
+    # scale.
+    all_vals = [v for vals in series.values() for v in vals if v == v]
+    if not all_vals:
+        return title + "\n(no plottable values)"
     lo, hi = min(all_vals), max(all_vals)
     if hi <= lo:
         hi = lo + 1.0
@@ -103,6 +108,8 @@ def ascii_chart(
     grid = [[" "] * (col_w * len(x_labels)) for _ in range(height)]
     for name in names:
         for xi, v in enumerate(series[name]):
+            if v != v:  # NaN: no sample to plot
+                continue
             frac = (v - lo) / (hi - lo)
             row = height - 1 - int(round(frac * (height - 1)))
             col = xi * col_w + col_w // 2

@@ -24,7 +24,7 @@ from ..generation.suites import (
     band_label,
     weight_range_label,
 )
-from .measures import AggregateRow, GraphResult, aggregate
+from .measures import AggregateRow, GraphResult, aggregate, heuristic_names
 from .runner import PAPER_HEURISTIC_ORDER
 from .reporting import ResultTable
 
@@ -46,10 +46,25 @@ __all__ = [
 
 
 def _names(results: Sequence[GraphResult]) -> list[str]:
-    present = set(results[0].results) if results else set()
+    # Union across all graphs: under a fault-tolerant run no single graph
+    # is guaranteed to carry every heuristic.
+    present = heuristic_names(results)
     ordered = [n for n in PAPER_HEURISTIC_ORDER if n in present]
     ordered += sorted(present - set(ordered))
     return ordered
+
+
+def _is_partial(results: Sequence[GraphResult]) -> bool:
+    """Whether failures removed evaluations from ``results``.
+
+    True for a :class:`~repro.experiments.measures.SuiteResult` with
+    recorded/counted failures, or when any graph is missing a heuristic
+    that others carry (e.g. partial results loaded from disk).
+    """
+    if getattr(results, "n_failed", 0):
+        return True
+    names = heuristic_names(results)
+    return any(set(gr.results) != names for gr in results)
 
 
 def _measure_table(
@@ -83,11 +98,18 @@ def _measure_table(
         raise ValueError(f"unknown grouping {group!r}")
 
     agg = aggregate(results, key_fn, names)
+    partial = _is_partial(results)
     table = ResultTable(title, header, names, fmt=fmt)
     for key, label in zip(keys, labels):
         if key not in agg:
             continue
         rows = agg[key]
+        if partial:
+            # Annotate the per-class sample count so a reader of a
+            # degraded run knows how many graphs back each mean.
+            counts = [rows[n].n_graphs for n in names]
+            lo, hi = min(counts), max(counts)
+            label += f" [n={lo}]" if lo == hi else f" [n={lo}-{hi}]"
         table.add_row(label, [_pick(rows[n], measure) for n in names])
     return table
 
@@ -119,12 +141,16 @@ def table1(results: Sequence[GraphResult]) -> ResultTable:
         fmt="{:.0f}",
     )
     agg = aggregate(results, lambda gr: (gr.band, gr.anchor), _names(results))
-    name0 = _names(results)[0]
+    names = _names(results)
     for band in range(len(GRANULARITY_BANDS)):
         row = []
         for a in anchors:
             cell = agg.get((band, a))
-            row.append(float(cell[name0].n_graphs) if cell else 0.0)
+            # max across heuristics: a cell's graph count is the number of
+            # graphs present, even if some heuristic failed on a few.
+            row.append(
+                float(max(cell[n].n_graphs for n in names)) if cell else 0.0
+            )
         table.add_row(band_label(band), row)
     return table
 

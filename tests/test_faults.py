@@ -1,0 +1,399 @@
+"""Tests for the fault-tolerance layer (repro.experiments.faults + runners).
+
+Covers the acceptance scenario of the fault-tolerant suite execution work:
+a suite run with an injected hang and two injected raises completes,
+emitting ``FailureRecord``s for exactly the injected faults, identically
+on the serial and parallel paths; and a killed-then-resumed checkpointed
+run produces results byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.exceptions import ReproError
+from repro.experiments.faults import (
+    FailureRecord,
+    FaultInjectingScheduler,
+    FaultPolicy,
+    GraphTimeoutError,
+    deadline,
+    format_failure_report,
+    graph_key,
+)
+from repro.experiments.measures import SuiteResult
+from repro.experiments.persistence import CheckpointJournal, save_results
+from repro.experiments.runner import run_suite
+from repro.generation.suites import SuiteCell, generate_suite
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.schedulers.base import get_scheduler
+
+
+@pytest.fixture(scope="module")
+def suite():
+    cells = [SuiteCell(1, 2, (20, 100)), SuiteCell(3, 4, (20, 400))]
+    return list(generate_suite(graphs_per_cell=3, cells=cells, n_tasks_range=(10, 16)))
+
+
+def _keys(suite, *indices):
+    return [graph_key(suite[i].graph) for i in indices]
+
+
+# ----------------------------------------------------------------------
+# FaultPolicy
+# ----------------------------------------------------------------------
+class TestFaultPolicy:
+    def test_defaults_fail_fast(self):
+        p = FaultPolicy()
+        assert not p.isolates and not p.keeps_records
+
+    def test_record_keeps(self):
+        p = FaultPolicy(on_error="record")
+        assert p.isolates and p.keeps_records
+
+    def test_skip_isolates_without_records(self):
+        p = FaultPolicy(on_error="skip")
+        assert p.isolates and not p.keeps_records
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_error": "explode"},
+            {"timeout": 0.0},
+            {"timeout": -1.0},
+            {"retries": -1},
+            {"backoff": -0.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# FailureRecord
+# ----------------------------------------------------------------------
+class TestFailureRecord:
+    def test_round_trip(self):
+        fr = FailureRecord(
+            graph_id="g1",
+            heuristic="HU",
+            kind="error",
+            exc_type="ReproError",
+            message="boom",
+            seed=7,
+            traceback="tb",
+            elapsed=0.25,
+            attempts=2,
+        )
+        assert FailureRecord.from_dict(fr.to_dict()) == fr
+
+    def test_signature_excludes_volatile_fields(self):
+        a = FailureRecord("g", "HU", "error", "ReproError", "m", elapsed=1.0)
+        b = FailureRecord("g", "HU", "error", "ReproError", "m", elapsed=9.0)
+        assert a.signature() == b.signature()
+
+    def test_from_exception_captures_traceback(self):
+        try:
+            raise ReproError("kapow")
+        except ReproError as exc:
+            fr = FailureRecord.from_exception(
+                exc, graph_id="g", heuristic="HU", kind="error"
+            )
+        assert fr.exc_type == "ReproError"
+        assert "kapow" in fr.traceback
+
+
+# ----------------------------------------------------------------------
+# deadline
+# ----------------------------------------------------------------------
+class TestDeadline:
+    def test_fast_body_passes(self):
+        with deadline(5.0):
+            x = 1 + 1
+        assert x == 2
+
+    def test_slow_body_raises(self):
+        with pytest.raises(GraphTimeoutError):
+            with deadline(0.05):
+                time.sleep(2.0)
+
+    def test_none_disables(self):
+        with deadline(None):
+            time.sleep(0.01)
+
+
+# ----------------------------------------------------------------------
+# Error isolation (serial path)
+# ----------------------------------------------------------------------
+class TestErrorIsolation:
+    def test_raise_policy_aborts(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0))
+        with pytest.raises(ReproError, match="injected failure"):
+            run_suite(suite, [faulty])
+
+    def test_record_carries_exact_failures(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 1, 4))
+        with use_registry(MetricsRegistry()) as reg:
+            results = run_suite(suite, [faulty], on_error="record")
+        assert isinstance(results, SuiteResult)
+        assert results.n_failed == 2
+        assert {fr.signature() for fr in results.failures} == {
+            (suite[1].graph_id, "HU", "error", "ReproError"),
+            (suite[4].graph_id, "HU", "error", "ReproError"),
+        }
+        assert reg.counter("suite.failures") == 2
+        assert reg.counter("suite.failures.HU.error") == 2
+        # graphs whose only heuristic failed are absent entirely
+        assert len(results) == len(suite) - 2
+
+    def test_skip_counts_but_drops_records(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0))
+        results = run_suite(suite, [faulty], on_error="skip")
+        assert results.n_failed == 1
+        assert results.failures == []
+        assert 0 < results.failure_rate < 1
+
+    def test_surviving_heuristics_keep_their_results(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0))
+        results = run_suite(suite, [faulty, get_scheduler("MCP")], on_error="record")
+        assert len(results) == len(suite)  # MCP survived on every graph
+        assert "HU" not in results[0].results
+        assert "MCP" in results[0].results
+
+    def test_clean_run_has_no_failures(self, suite):
+        results = run_suite(suite, [get_scheduler("HU")], on_error="record")
+        assert results.n_failed == 0
+        assert results.failure_rate == 0.0
+
+    def test_wrong_schedule_caught_only_with_validate(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0), mode="wrong")
+        clean = run_suite(suite, [faulty], on_error="record")
+        assert clean.n_failed == 0
+        checked = run_suite(suite, [faulty], on_error="record", validate=True)
+        assert checked.n_failed == 1
+        assert checked.failures[0].kind == "error"
+
+
+# ----------------------------------------------------------------------
+# Timeouts, retries, quarantine
+# ----------------------------------------------------------------------
+class TestTimeoutsAndRetries:
+    def test_hang_quarantined_after_two_overruns(self, suite):
+        faulty = FaultInjectingScheduler(
+            "HU", fail=_keys(suite, 2), mode="hang", hang_seconds=30.0
+        )
+        with use_registry(MetricsRegistry()) as reg:
+            t0 = time.perf_counter()
+            results = run_suite(suite, [faulty], on_error="record", timeout=0.2)
+            elapsed = time.perf_counter() - t0
+        assert results.n_failed == 1
+        fr = results.failures[0]
+        assert fr.kind == "timeout"
+        assert fr.exc_type == "GraphTimeoutError"
+        assert fr.attempts == 2  # one retry, then quarantine
+        assert elapsed < 10.0  # nowhere near the 30s hang
+        assert reg.counter("suite.timeouts") == 2
+        assert reg.counter("suite.quarantined") == 1
+
+    def test_transient_failure_recovered_by_retry(self, suite):
+        faulty = FaultInjectingScheduler(
+            "HU", fail=_keys(suite, 0), fail_attempts=1
+        )
+        with use_registry(MetricsRegistry()) as reg:
+            results = run_suite(
+                suite, [faulty], on_error="record", retries=1, backoff=0.0
+            )
+        assert results.n_failed == 0
+        assert len(results) == len(suite)
+        assert reg.counter("suite.retries") == 1
+
+    def test_persistent_failure_exhausts_retries(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0))
+        results = run_suite(
+            suite, [faulty], on_error="record", retries=2, backoff=0.0
+        )
+        assert results.n_failed == 1
+        assert results.failures[0].attempts == 3
+
+
+# ----------------------------------------------------------------------
+# Serial/parallel identity under faults
+# ----------------------------------------------------------------------
+class TestSerialParallelIdentity:
+    def test_raise_mode_failures_identical(self, suite):
+        def run(jobs):
+            faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 1, 3))
+            return run_suite(
+                suite, [faulty, get_scheduler("MCP")], on_error="record", jobs=jobs
+            )
+
+        serial, parallel = run(1), run(2)
+        assert list(serial) == list(parallel)
+        assert serial.n_failed == parallel.n_failed == 2
+        assert [fr.signature() for fr in serial.failures] == [
+            fr.signature() for fr in parallel.failures
+        ]
+
+    def test_acceptance_hang_plus_two_raises(self, suite):
+        """The issue's acceptance scenario, on both execution paths."""
+        hang_keys = _keys(suite, 2)
+        raise_keys = _keys(suite, 1, 4)
+
+        def run(jobs):
+            schedulers = [
+                FaultInjectingScheduler(
+                    "HU", fail=hang_keys, mode="hang", hang_seconds=30.0
+                ),
+                FaultInjectingScheduler("MCP", fail=raise_keys, mode="raise"),
+            ]
+            return run_suite(
+                suite, schedulers, on_error="record", timeout=0.2, jobs=jobs
+            )
+
+        expected = {
+            (suite[2].graph_id, "HU", "timeout", "GraphTimeoutError"),
+            (suite[1].graph_id, "MCP", "error", "ReproError"),
+            (suite[4].graph_id, "MCP", "error", "ReproError"),
+        }
+        for jobs in (1, 2):
+            results = run(jobs)
+            assert len(results) == len(suite)  # every graph kept a survivor
+            assert results.n_failed == 3
+            assert {fr.signature() for fr in results.failures} == expected
+
+
+# ----------------------------------------------------------------------
+# Worker crash recovery (parallel only)
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_crashed_worker_isolated_and_innocents_complete(self, suite):
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 2), mode="crash")
+        with use_registry(MetricsRegistry()) as reg:
+            results = run_suite(suite, [faulty], on_error="record", jobs=2)
+        assert len(results) == len(suite) - 1
+        assert results.n_failed == 1
+        fr = results.failures[0]
+        assert fr.graph_id == suite[2].graph_id
+        assert fr.heuristic is None  # whole-graph failure
+        assert fr.kind == "crash"
+        assert reg.counter("suite.pool_respawns") >= 1
+
+    def test_crash_with_raise_policy_propagates(self, suite):
+        from repro.experiments.faults import WorkerCrashError
+
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0), mode="crash")
+        with pytest.raises(WorkerCrashError):
+            run_suite(suite, [faulty], jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    def test_journal_round_trip(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        results = run_suite(suite, checkpoint=path)
+        journal = CheckpointJournal(path)
+        journaled, failures = journal.load()
+        assert set(journaled) == {sg.graph_id for sg in suite}
+        assert failures == {}
+        assert list(journaled.values()) == list(results)
+
+    def test_resume_skips_completed(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:3], checkpoint=path)
+        with use_registry(MetricsRegistry()) as reg:
+            results = run_suite(suite, checkpoint=path)
+        assert reg.counter("suite.checkpoint.resumed") == 3
+        assert results == run_suite(suite)
+
+    def test_interrupt_then_resume_byte_identical(self, suite, tmp_path):
+        """A ^C mid-suite leaves the journal intact; the resumed run's saved
+        results are byte-identical to an uninterrupted run's."""
+        path = tmp_path / "ckpt.jsonl"
+
+        def interrupt(done, gr):
+            if done == 4:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_suite(suite, checkpoint=path, progress=interrupt)
+        # the journal holds exactly the graphs completed before the kill
+        journaled, _ = CheckpointJournal(path).load()
+        assert len(journaled) == 4
+
+        resumed = run_suite(suite, checkpoint=path)
+        uninterrupted = run_suite(suite)
+        a, b = tmp_path / "resumed.json", tmp_path / "full.json"
+        save_results(resumed, a)
+        save_results(uninterrupted, b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_resume_replays_failures(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        faulty = FaultInjectingScheduler("HU", fail=_keys(suite, 0))
+        first = run_suite(suite, [faulty], on_error="record", checkpoint=path)
+        second = run_suite(suite, [faulty], on_error="record", checkpoint=path)
+        assert second.n_failed == first.n_failed == 1
+        assert [fr.signature() for fr in second.failures] == [
+            fr.signature() for fr in first.failures
+        ]
+        assert list(second) == list(first)
+
+    def test_torn_trailing_line_tolerated(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:2], checkpoint=path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "result", "v": 1, "data": {"graph_id"')  # torn
+        journaled, _ = CheckpointJournal(path).load()
+        assert len(journaled) == 2
+
+    def test_parallel_resume_matches_serial(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:3], checkpoint=path)
+        resumed = run_suite(suite, checkpoint=path, jobs=2)
+        assert resumed == run_suite(suite)
+
+
+# ----------------------------------------------------------------------
+# Progress-callback guard
+# ----------------------------------------------------------------------
+class TestProgressGuard:
+    def test_raising_callback_disabled_not_fatal(self, suite):
+        calls = []
+
+        def bad_progress(done, gr):
+            calls.append(done)
+            raise ValueError("buggy callback")
+
+        results = run_suite(suite, [get_scheduler("HU")], progress=bad_progress)
+        assert len(results) == len(suite)  # the run completed
+        assert calls == [1]  # disabled after the first raise
+
+    def test_keyboard_interrupt_still_propagates(self, suite):
+        def ctrl_c(done, gr):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_suite(suite, [get_scheduler("HU")], progress=ctrl_c)
+
+
+# ----------------------------------------------------------------------
+# Failure reporting
+# ----------------------------------------------------------------------
+class TestFailureReport:
+    def test_empty(self):
+        assert format_failure_report([]) == "no failures recorded"
+
+    def test_aggregates_and_details(self):
+        failures = [
+            FailureRecord(f"g{i}", "HU", "error", "ReproError", "boom")
+            for i in range(12)
+        ] + [FailureRecord("g0", None, "crash", "WorkerCrashError", "died")]
+        report = format_failure_report(failures, max_detail=10)
+        assert "13 failure(s) recorded" in report
+        assert "... and 3 more" in report
+        assert "crash" in report

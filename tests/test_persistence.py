@@ -91,3 +91,57 @@ class TestSuiteRoundTrip:
         path.write_text('{"format": "nope"}')
         with pytest.raises(ValueError, match="not a repro suite"):
             load_suite(path)
+
+
+class TestAtomicWrites:
+    """Crash simulation: an interrupted save must never corrupt the
+    destination — the previous contents survive intact."""
+
+    def test_crash_during_save_leaves_old_file_intact(
+        self, results, tmp_path, monkeypatch
+    ):
+        import os as _os
+
+        from repro.experiments import persistence
+
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(persistence.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_results(results[:1], path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before  # old contents untouched
+        assert load_results(path) == list(results)
+        # the temp file was cleaned up, not left littering the directory
+        assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+
+    def test_crash_during_suite_save(self, suite, tmp_path, monkeypatch):
+        from repro.experiments import persistence
+
+        path = tmp_path / "suite.json"
+        save_suite(suite, path)
+        before = path.read_bytes()
+
+        monkeypatch.setattr(
+            persistence.os,
+            "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("simulated disk failure")),
+        )
+        with pytest.raises(OSError, match="simulated disk"):
+            save_suite(suite, path)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["suite.json"]
+
+    def test_save_is_replace_not_append(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        save_results(results, path)  # second save replaces, not extends
+        assert load_results(path) == list(results)
