@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Performance baseline for the indexed graph kernels (PR: CSR hot paths).
+
+Measures the kernels of :mod:`repro.core.kernels` against the dict
+reference implementations — level computations, the cluster simulator, and
+the end-to-end serial Table-1 suite over the five paper heuristics — and
+writes ``BENCH_kernels.json``, the tracked baseline later PRs are measured
+against.  See :mod:`repro.experiments.kernelbench` for what each section
+times.
+
+Equivalence is a hard bound in every mode: level dicts must be exactly
+equal, schedules and serialized suite results byte-identical.  Speedup
+floors (ratios, so machine-independent) are enforced with ``--check``:
+quick floors are lenient for noisy CI runners, full-run floors are the
+PR's acceptance targets (>= 3x on the micro kernels, >= 2x end to end).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py                 # full baseline
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick --check # CI smoke
+
+Exit codes: 0 ok; 1 equivalence broken; 2 speedup floor missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.kernelbench import (
+    FULL_FLOORS,
+    QUICK_FLOORS,
+    SEED,
+    floor_violations,
+    run_benchmark,
+)
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small graphs / few reps for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floors (always enforced on full runs)",
+    )
+    parser.add_argument(
+        "--graphs-per-cell",
+        type=int,
+        default=None,
+        help="override end-to-end suite size (default: 1 quick, 2 full)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(OUT_DIR / "BENCH_kernels.json"),
+        help="baseline JSON path (only written on full runs unless --force-write)",
+    )
+    parser.add_argument(
+        "--force-write",
+        action="store_true",
+        help="write the baseline JSON even in --quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"kernel benchmark ({mode}), seed {SEED}", flush=True)
+    payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
+
+    lv, sim, e2e = payload["levels"], payload["simulator"], payload["end_to_end"]
+    print(
+        f"levels     (n={lv['n_tasks']}): dict {lv['dict_ms']:.3f}ms "
+        f"kernel {lv['kernel_ms']:.3f}ms (+{lv['compile_ms']:.3f}ms compile, "
+        f"amortized) -> {lv['speedup']:.2f}x  identical={lv['identical']}"
+    )
+    print(
+        f"simulator  (n={sim['n_tasks']}): dict {sim['dict_ms']:.3f}ms "
+        f"kernel {sim['kernel_ms']:.3f}ms -> {sim['speedup']:.2f}x  "
+        f"identical={sim['identical']}"
+    )
+    print(
+        f"end-to-end ({e2e['n_graphs']} graphs x {len(e2e['heuristics'])} "
+        f"heuristics): dict {e2e['dict_wall_s']:.3f}s "
+        f"kernel {e2e['kernel_wall_s']:.3f}s -> {e2e['speedup']:.2f}x  "
+        f"identical={e2e['identical']}"
+    )
+    obs = e2e["obs"]
+    print(
+        f"index reuse: {obs['compile_count']} compiles "
+        f"({obs['compile_total_ms']:.1f}ms total), "
+        f"{obs['cache_hits']:.0f} cache hits / {obs['cache_misses']:.0f} misses"
+    )
+
+    if not args.quick or args.force_write:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote baseline to {out}")
+
+    if not (lv["identical"] and sim["identical"] and e2e["identical"]):
+        print("FAIL: kernel results diverge from the dict paths", file=sys.stderr)
+        return 1
+    if args.check or not args.quick:
+        floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+        missed = floor_violations(payload, floors)
+        if missed:
+            for line in missed:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

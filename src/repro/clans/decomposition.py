@@ -21,8 +21,18 @@ tree is its modular decomposition:
   closures from ``v`` *is* that child.
 
 Complexity is O(n^3) worst case, comfortably fast for the testbed's graph
-sizes; all inner loops on the primitive path are vectorized over the numpy
-relation matrix.
+sizes.  Two interchangeable backends produce the identical tree:
+
+* the original numpy implementation, whose inner loops are vectorized over
+  the int8 relation matrix; and
+* an integer-bitset implementation (one Python int per vertex row) used when
+  the compiled kernels are enabled — at testbed sizes (n of order 100) the
+  closure waves fit in a few machine words each, and big-int and/or/xor
+  beats the per-call overhead of many tiny numpy ops by a wide margin.
+
+Both order vertices topologically, discover components in ascending
+first-vertex order and seed smallest-module closures in the same (v, u)
+order, so the recursion shapes — not just the final trees — coincide.
 """
 
 from __future__ import annotations
@@ -30,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.exceptions import DecompositionError
+from ..core.kernels import kernels_enabled
 from ..core.taskgraph import Task, TaskGraph
 from .parse_tree import ClanKind, ClanNode
 from .relations import UNRELATED, RelationMatrix
@@ -49,6 +60,9 @@ def decompose(graph: TaskGraph) -> ClanNode:
     """
     if graph.n_tasks == 0:
         raise DecompositionError("cannot decompose an empty graph")
+    if kernels_enabled():
+        br = _BitRelations(graph)
+        return _decompose_bits(br, br.full)
     rm = RelationMatrix(graph)
     indices = np.arange(rm.n)
     return _decompose(rm, indices)
@@ -186,6 +200,181 @@ def _smallest_module(rel: np.ndarray, v: int, u: int) -> np.ndarray:
         member[new] = True
         count += new.size
         if count == n:
+            break
+    return member
+
+
+# ----------------------------------------------------------------------
+# bitset backend
+#
+# One Python int per vertex row: bit j of ``desc[i]`` marks a strict
+# descendant, etc.  Vertex numbering is the same ascending topological order
+# as RelationMatrix, so "lowest set bit" == "minimum topological index" and
+# the child orderings match the numpy backend exactly.
+# ----------------------------------------------------------------------
+
+
+class _BitRelations:
+    """Transitive ancestor/descendant relations as per-vertex bitmasks."""
+
+    __slots__ = ("tasks", "n", "full", "desc", "anc", "comp", "unrel")
+
+    def __init__(self, graph: TaskGraph) -> None:
+        tasks = graph.topological_order()
+        index = {t: i for i, t in enumerate(tasks)}
+        n = len(tasks)
+        desc = [0] * n
+        for i in range(n - 1, -1, -1):
+            m = 0
+            for s in graph.successors(tasks[i]):
+                j = index[s]
+                m |= (1 << j) | desc[j]
+            desc[i] = m
+        anc = [0] * n
+        for i in range(n):
+            m = desc[i]
+            while m:
+                lsb = m & -m
+                anc[lsb.bit_length() - 1] |= 1 << i
+                m ^= lsb
+        self.tasks = tasks
+        self.n = n
+        self.full = (1 << n) - 1
+        self.desc = desc
+        self.anc = anc
+        self.comp = [desc[i] | anc[i] for i in range(n)]
+        self.unrel = [self.full & ~self.comp[i] & ~(1 << i) for i in range(n)]
+
+
+def _mask_components(subset: int, adj: list[int]) -> list[int]:
+    """Connected components of ``subset`` under symmetric adjacency ``adj``.
+
+    Components come out in ascending order of their smallest vertex, matching
+    the start-vertex scan of the numpy :func:`_components`.
+    """
+    comps: list[int] = []
+    rest = subset
+    while rest:
+        comp = rest & -rest
+        frontier = comp
+        while frontier:
+            nxt = 0
+            m = frontier
+            while m:
+                lsb = m & -m
+                nxt |= adj[lsb.bit_length() - 1]
+                m ^= lsb
+            frontier = nxt & rest & ~comp
+            comp |= frontier
+        comps.append(comp)
+        rest &= ~comp
+    return comps
+
+
+def _decompose_bits(br: _BitRelations, subset: int) -> ClanNode:
+    """Recursive modular decomposition on the vertex bitmask ``subset``."""
+    if subset & (subset - 1) == 0:
+        task = br.tasks[subset.bit_length() - 1]
+        return ClanNode(ClanKind.LEAF, frozenset([task]), task=task)
+
+    comps = _mask_components(subset, br.comp)
+    if len(comps) > 1:
+        children = [_decompose_bits(br, c) for c in comps]
+        return _make_internal(ClanKind.INDEPENDENT, children)
+
+    cocomps = _mask_components(subset, br.unrel)
+    if len(cocomps) > 1:
+        children = [_decompose_bits(br, c) for c in cocomps]
+        # Total order between co-components: ascending minimum topological
+        # index (== ascending lowest bit) orders them; verify consecutive
+        # representatives are uniformly oriented.
+        for a, b in zip(cocomps, cocomps[1:]):
+            ra = (a & -a).bit_length() - 1
+            if not br.desc[ra] & (b & -b):
+                raise DecompositionError(
+                    "linear clan children are not totally ordered (internal error)"
+                )
+        return _make_internal(ClanKind.LINEAR, children)
+
+    parts = _primitive_children_bits(br, subset)
+    children = [_decompose_bits(br, part) for part in parts]
+    return _make_internal(ClanKind.PRIMITIVE, children)
+
+
+def _primitive_children_bits(br: _BitRelations, subset: int) -> list[int]:
+    """Maximal proper strong modules of a primitive 2-structure (as masks).
+
+    Same (v, u) seeding order as the numpy :func:`_primitive_children`; each
+    part's smallest vertex is its seed, so parts come out ascending.
+
+    For each seed ``v`` (one per part) the splitter masks are hoisted:
+    ``diffs[w]`` is the set of vertices whose relation to ``w`` differs from
+    their relation to ``v`` — the vertices that agree on both are
+    ``(anc[w] & anc[v]) | (desc[w] & desc[v]) | (unrel[w] & unrel[v])``.
+    The closures for every ``u`` under the same ``v`` then reduce to one OR
+    per newly joined vertex per wave.
+    """
+    parts: list[int] = []
+    assigned = 0
+    anc = br.anc
+    desc = br.desc
+    unrel = br.unrel
+    diffs = [0] * br.n
+    sv = subset
+    while sv:
+        vbit = sv & -sv
+        sv ^= vbit
+        if assigned & vbit:
+            continue
+        v = vbit.bit_length() - 1
+        av, dv, uv = anc[v], desc[v], unrel[v]
+        m = subset
+        while m:
+            lsb = m & -m
+            z = lsb.bit_length() - 1
+            diffs[z] = ~((anc[z] & av) | (desc[z] & dv) | (unrel[z] & uv))
+            m ^= lsb
+        member = vbit
+        su = subset
+        while su:
+            ubit = su & -su
+            su ^= ubit
+            if ubit == vbit or member & ubit or assigned & ubit:
+                continue
+            closure = _smallest_module_bits(subset, vbit, ubit, diffs)
+            if closure != subset:  # proper: lies inside v's maximal module
+                member |= closure
+        parts.append(member)
+        assigned |= member
+    if len(parts) < 2:
+        raise DecompositionError(
+            "primitive clan produced fewer than two children (internal error)"
+        )
+    return parts
+
+
+def _smallest_module_bits(subset: int, vbit: int, ubit: int, diffs: list[int]) -> int:
+    """Smallest module (within ``subset``) containing ``vbit`` and ``ubit``.
+
+    Same wave-batched closure as the numpy :func:`_smallest_module`:
+    whenever vertices join, every outside vertex whose relation to any of
+    them differs from its (uniform) relation to the seed becomes a splitter
+    and joins in the next wave.  ``diffs`` holds the precomputed per-vertex
+    splitter masks (see :func:`_primitive_children_bits`).
+    """
+    member = vbit | ubit
+    new = ubit
+    while new:
+        splitters = 0
+        m = new
+        while m:
+            lsb = m & -m
+            splitters |= diffs[lsb.bit_length() - 1]
+            m ^= lsb
+        add = splitters & subset & ~member
+        member |= add
+        new = add
+        if member == subset:
             break
     return member
 

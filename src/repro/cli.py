@@ -8,6 +8,7 @@ Subcommands::
     repro-sched experiment --graphs-per-cell 4 [--tables 2,3,4] [--figures 1,2]
     repro-sched workload  fft --param 3 -o fft.json
     repro-sched stats     <results.json>
+    repro-sched bench     kernels [--quick] [--check]
 
 Observability: ``--verbose`` / ``--log-json`` (before the subcommand)
 control structured logging; ``experiment``/``report`` accept
@@ -316,13 +317,57 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 f"{name:10s} {t['count']:7d} {t['total_s'] * 1e3:9.1f}ms "
                 f"{t['mean_s'] * 1e3:9.3f}ms {t['max_s'] * 1e3:9.3f}ms"
             )
+    compile_t = timers.get("kernels.compile")
     counters = manifest.metrics.get("counters", {})
+    if compile_t:
+        hits = counters.get("kernels.cache.hits", 0)
+        misses = counters.get("kernels.cache.misses", 0)
+        print()
+        print(
+            f"graph index    : {compile_t['count']} compiles "
+            f"({compile_t['total_s'] * 1e3:.1f}ms total), "
+            f"{hits:g} cache hits / {misses:g} misses"
+        )
     if counters:
         print()
         print("counter totals")
         width = max(len(n) for n in counters)
         for name in sorted(counters):
             print(f"  {name:<{width}s} {counters[name]:14g}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run a tracked benchmark; the default action re-pins its baseline."""
+    from .experiments.kernelbench import (
+        FULL_FLOORS,
+        QUICK_FLOORS,
+        floor_violations,
+        run_benchmark,
+    )
+
+    payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
+    lv, sim, e2e = payload["levels"], payload["simulator"], payload["end_to_end"]
+    print(f"levels     : {lv['speedup']:6.2f}x  identical={lv['identical']}")
+    print(f"simulator  : {sim['speedup']:6.2f}x  identical={sim['identical']}")
+    print(f"end-to-end : {e2e['speedup']:6.2f}x  identical={e2e['identical']}")
+
+    if not args.check:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"pinned baseline to {out}")
+
+    if not (lv["identical"] and sim["identical"] and e2e["identical"]):
+        print("FAIL: kernel results diverge from the dict paths", file=sys.stderr)
+        return 1
+    if args.check:
+        floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+        missed = floor_violations(payload, floors)
+        if missed:
+            for line in missed:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 2
     return 0
 
 
@@ -449,6 +494,30 @@ def build_parser() -> argparse.ArgumentParser:
         "results", help="results JSON written by `experiment --save` (or its manifest)"
     )
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench", help="run a tracked benchmark and re-pin its baseline"
+    )
+    p.add_argument(
+        "target",
+        choices=["kernels"],
+        help="which benchmark to run (kernels: indexed vs dict hot paths)",
+    )
+    p.add_argument(
+        "--quick", action="store_true", help="small sizes for smoke runs"
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce speedup floors instead of re-pinning the baseline",
+    )
+    p.add_argument("--graphs-per-cell", type=int, default=None)
+    p.add_argument(
+        "--out",
+        default="benchmarks/out/BENCH_kernels.json",
+        help="baseline JSON path to pin (default: %(default)s)",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("export", help="export a schedule as SVG or Chrome trace")
     p.add_argument("graph", help="graph JSON file")

@@ -3,13 +3,17 @@
 from .analysis import (
     GraphAnalysis,
     alap_times,
+    alap_times_view,
     asap_times,
     b_levels,
+    b_levels_view,
     critical_path,
     critical_path_length,
     dominant_path_length,
     hu_levels,
+    hu_levels_view,
     t_levels,
+    t_levels_view,
 )
 from .exceptions import (
     CycleError,
@@ -19,6 +23,7 @@ from .exceptions import (
     ReproError,
     ScheduleError,
 )
+from .kernels import GraphIndex, graph_index, kernels_enabled, use_kernels
 from .lowerbounds import best_bound, cp_bound, density_bound, work_bound
 from .metrics import (
     GRANULARITY_BANDS,
@@ -48,6 +53,14 @@ __all__ = [
     "critical_path",
     "critical_path_length",
     "dominant_path_length",
+    "t_levels_view",
+    "b_levels_view",
+    "hu_levels_view",
+    "alap_times_view",
+    "GraphIndex",
+    "graph_index",
+    "kernels_enabled",
+    "use_kernels",
     "granularity",
     "granularity_band",
     "anchor_out_degree",

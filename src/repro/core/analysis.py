@@ -21,6 +21,13 @@ from collections.abc import Mapping
 from types import MappingProxyType
 
 from .exceptions import GraphError
+from .kernels import (
+    b_levels_arr,
+    critical_path_idx,
+    graph_index,
+    kernels_enabled,
+    t_levels_arr,
+)
 from .taskgraph import Task, TaskGraph
 
 __all__ = [
@@ -32,6 +39,10 @@ __all__ = [
     "critical_path",
     "critical_path_length",
     "dominant_path_length",
+    "t_levels_view",
+    "b_levels_view",
+    "hu_levels_view",
+    "alap_times_view",
     "GraphAnalysis",
 ]
 
@@ -51,6 +62,13 @@ __all__ = [
 
 def _t_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
     def compute() -> dict[Task, float]:
+        if kernels_enabled():
+            # Same arithmetic on the compiled index; the dict is rebuilt in
+            # the traversal's insertion order so iteration is unchanged.
+            arr = t_levels_arr(graph, communication=communication)
+            gi = graph_index(graph)
+            tasks = gi.tasks
+            return {tasks[i]: arr[i] for i in gi.topo_list}
         tl: dict[Task, float] = {}
         weight = graph.weight
         for t in graph.topological_order():
@@ -67,6 +85,11 @@ def _t_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
 
 def _b_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
     def compute() -> dict[Task, float]:
+        if kernels_enabled():
+            arr = b_levels_arr(graph, communication=communication)
+            gi = graph_index(graph)
+            tasks = gi.tasks
+            return {tasks[i]: arr[i] for i in reversed(gi.topo_list)}
         bl: dict[Task, float] = {}
         weight = graph.weight
         for t in reversed(graph.topological_order()):
@@ -79,6 +102,17 @@ def _b_levels_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
         return bl
 
     return graph.cached(("b_levels", communication), compute)
+
+
+def _alap_times_raw(graph: TaskGraph, communication: bool) -> dict[Task, float]:
+    """Shared memoized ALAP dict (critical-path deadline); treat as read-only."""
+
+    def compute() -> dict[Task, float]:
+        bl = _b_levels_raw(graph, communication)
+        cp = max(bl.values(), default=0.0)
+        return {t: cp - bl[t] for t in graph.tasks()}
+
+    return graph.cached(("alap_times", communication), compute)
 
 
 def t_levels(graph: TaskGraph, *, communication: bool = True) -> dict[Task, float]:
@@ -124,6 +158,10 @@ def critical_path(graph: TaskGraph, *, communication: bool = True) -> list[Task]
     """
     if graph.n_tasks == 0:
         return []
+    if kernels_enabled():
+        gi = graph_index(graph)
+        tasks = gi.tasks
+        return [tasks[i] for i in critical_path_idx(graph, communication=communication)]
     bl = _b_levels_raw(graph, communication)
     node = max(graph.sources(), key=lambda s: (bl[s],))
     path = [node]
@@ -160,13 +198,44 @@ def alap_times(
     time of every critical task equal to its ASAP time.  MCP (appendix A.2)
     computes these with all communication costs assumed incurred.
     """
+    if deadline is None:
+        return dict(_alap_times_raw(graph, communication))
     bl = _b_levels_raw(graph, communication)
     cp = max(bl.values(), default=0.0)
-    if deadline is None:
-        deadline = cp
-    elif deadline < cp:
+    if deadline < cp:
         raise GraphError(f"deadline {deadline} below critical path length {cp}")
     return {t: deadline - bl[t] for t in graph.tasks()}
+
+
+def t_levels_view(
+    graph: TaskGraph, *, communication: bool = True
+) -> Mapping[Task, float]:
+    """Read-only view of the memoized t-levels — no per-call copy.
+
+    Hot-path variant of :func:`t_levels` for callers that only read the
+    mapping; the view is backed by the graph's memo table and must not be
+    mutated or held across graph mutations.
+    """
+    return MappingProxyType(_t_levels_raw(graph, communication))
+
+
+def b_levels_view(
+    graph: TaskGraph, *, communication: bool = True
+) -> Mapping[Task, float]:
+    """Read-only view of the memoized b-levels — no per-call copy."""
+    return MappingProxyType(_b_levels_raw(graph, communication))
+
+
+def hu_levels_view(graph: TaskGraph) -> Mapping[Task, float]:
+    """Read-only view of the memoized Hu levels (communication-free b-levels)."""
+    return b_levels_view(graph, communication=False)
+
+
+def alap_times_view(
+    graph: TaskGraph, *, communication: bool = True
+) -> Mapping[Task, float]:
+    """Read-only view of the memoized ALAP times (critical-path deadline)."""
+    return MappingProxyType(_alap_times_raw(graph, communication))
 
 
 class GraphAnalysis:
@@ -225,13 +294,7 @@ class GraphAnalysis:
         return critical_path_length(self._check(), communication=communication)
 
     def alap_times(self, *, communication: bool = True) -> Mapping[Task, float]:
-        graph = self._check()
-        return MappingProxyType(
-            graph.cached(
-                ("alap_times", communication),
-                lambda: alap_times(graph, communication=communication),
-            )
-        )
+        return MappingProxyType(_alap_times_raw(self._check(), communication))
 
     def __repr__(self) -> str:
         state = "stale" if self.stale else "fresh"

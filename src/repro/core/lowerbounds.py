@@ -20,7 +20,7 @@ every schedule produced anywhere in the library must dominate them.
 
 from __future__ import annotations
 
-from .analysis import alap_times, asap_times, critical_path_length
+from .analysis import alap_times_view, critical_path_length, t_levels_view
 from .exceptions import GraphError
 from .taskgraph import TaskGraph
 
@@ -60,8 +60,8 @@ def density_bound(graph: TaskGraph, n_processors: int) -> float:
         raise GraphError(f"need at least one processor, got {n_processors}")
     if graph.n_tasks == 0:
         return 0.0
-    asap = asap_times(graph, communication=False)
-    alap = alap_times(graph, communication=False)
+    asap = t_levels_view(graph, communication=False)
+    alap = alap_times_view(graph, communication=False)
     cp = cp_bound(graph)
     tasks = graph.tasks()
     points = sorted({asap[t] for t in tasks} | {alap[t] + graph.weight(t) for t in tasks})

@@ -247,3 +247,49 @@ class Schedule:
             f"Schedule(n_tasks={len(self)}, n_processors={self.n_processors}, "
             f"makespan={self.makespan:g})"
         )
+
+
+class _LazySchedule(Schedule):
+    """A schedule backed by precomputed placement rows (kernel fast path).
+
+    The indexed kernels (:mod:`repro.core.kernels`) produce placements as
+    plain ``(task, processor, start, finish)`` tuples whose invariants are
+    guaranteed by construction (non-negative weights, contiguous processor
+    allocation), so per-placement :class:`ScheduledTask` validation is pure
+    overhead.  This subclass stores the rows and materializes the
+    ``ScheduledTask`` mapping on first access — in row order, so iteration,
+    ``to_dict`` and every query behave exactly as if each row had been
+    :meth:`Schedule.place`-d in sequence.  Consumers that only read
+    :attr:`makespan` (acceptance tests in clustering loops, for example)
+    never pay for object construction at all.
+    """
+
+    def __init__(self, rows: list[tuple[Task, int, float, float]]) -> None:
+        # deliberately no super().__init__(): _by_task is a lazy property
+        self._rows: list[tuple[Task, int, float, float]] | None = rows
+        self._mat: dict[Task, ScheduledTask] | None = None
+
+    @property  # type: ignore[override]
+    def _by_task(self) -> dict[Task, ScheduledTask]:
+        mat = self._mat
+        if mat is None:
+            new = ScheduledTask.__new__
+            setattr_ = object.__setattr__
+            mat = {}
+            for task, proc, start, finish in self._rows or ():
+                p = new(ScheduledTask)
+                setattr_(p, "task", task)
+                setattr_(p, "processor", proc)
+                setattr_(p, "start", start)
+                setattr_(p, "finish", finish)
+                mat[task] = p
+            self._mat = mat
+            self._rows = None  # mutations (place) go to the live dict
+        return mat
+
+    @property
+    def makespan(self) -> float:
+        rows = self._rows
+        if rows is not None:
+            return max((r[3] for r in rows), default=0.0)
+        return super().makespan

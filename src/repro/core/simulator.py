@@ -19,6 +19,15 @@ Two entry points:
 * :func:`simulate_clustering` — the caller supplies only the assignment;
   orders are derived from a priority (b-level by default), which is the
   convention in the clustering literature.
+
+Both run on the compiled :class:`~repro.core.kernels.GraphIndex` when the
+kernels are enabled (the default), falling back to the original dict
+implementation when they are disabled or the graph is cyclic (the kernels
+need a topological order to compile, while the dict path reports cycles as
+clustering deadlocks — the fallback preserves that error).  ``validate``
+(default True) checks that the clustering covers exactly the graph's task
+set; internal callers that construct clusterings from the graph itself pass
+``validate=False`` to skip the per-call set rebuilds.
 """
 
 from __future__ import annotations
@@ -26,36 +35,90 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from ..obs.metrics import get_registry
-from .analysis import b_levels
-from .exceptions import ScheduleError
+from .analysis import _b_levels_raw
+from .exceptions import CycleError, ScheduleError
+from .kernels import (
+    GraphIndex,
+    b_levels_arr,
+    graph_index,
+    kernels_enabled,
+    priority_topo_order_idx,
+    simulate_ordered_idx,
+)
 from .schedule import Schedule
 from .taskgraph import Task, TaskGraph
 
 __all__ = ["simulate_ordered", "simulate_clustering", "serial_schedule"]
 
 
-def simulate_ordered(graph: TaskGraph, clusters: Sequence[Sequence[Task]]) -> Schedule:
+def _compiled(graph: TaskGraph) -> GraphIndex | None:
+    """The graph's index when the kernel path applies, else None.
+
+    Cyclic graphs return None: compilation needs a topological order, and
+    the dict path must keep reporting cycles as clustering deadlocks.
+    """
+    if not kernels_enabled():
+        return None
+    try:
+        return graph_index(graph)
+    except CycleError:
+        return None
+
+
+def _validate_clusters(graph: TaskGraph, clusters: Sequence[Sequence[Task]]) -> None:
+    """Check that ``clusters`` partitions exactly the graph's task set."""
+    seen: dict[Task, int] = {}
+    for i, cluster in enumerate(clusters):
+        for t in cluster:
+            if t in seen:
+                raise ScheduleError(f"task {t!r} appears in more than one cluster")
+            seen[t] = i
+    missing = set(graph.tasks()) - set(seen)
+    if missing:
+        raise ScheduleError(f"tasks not clustered: {sorted(map(repr, missing))}")
+    extra = set(seen) - set(graph.tasks())
+    if extra:
+        raise ScheduleError(f"unknown tasks clustered: {sorted(map(repr, extra))}")
+
+
+def _count_run(events: int) -> None:
+    registry = get_registry()
+    registry.inc("simulator.runs")
+    registry.inc("simulator.events", events)
+
+
+def simulate_ordered(
+    graph: TaskGraph,
+    clusters: Sequence[Sequence[Task]],
+    *,
+    validate: bool = True,
+) -> Schedule:
     """Time a clustering whose per-processor execution order is fixed.
 
     ``clusters[i]`` is the ordered task list of processor ``i``.  Every task
-    must appear exactly once.  The combined constraints (DAG precedence plus
-    cluster order) must be acyclic, otherwise the clustering deadlocks and a
-    :class:`ScheduleError` is raised.
+    must appear exactly once (checked when ``validate`` is True, the
+    default; internal callers that construct the clustering from the graph's
+    own task set pass ``validate=False``).  The combined constraints (DAG
+    precedence plus cluster order) must be acyclic, otherwise the clustering
+    deadlocks and a :class:`ScheduleError` is raised.
     """
+    if validate:
+        _validate_clusters(graph, clusters)
+
+    gi = _compiled(graph)
+    if gi is not None:
+        index_of = gi.index_of
+        clusters_idx = [[index_of[t] for t in cluster] for cluster in clusters]
+        schedule, done = simulate_ordered_idx(gi, clusters_idx)
+        _count_run(done)
+        return schedule
+
     proc_of: dict[Task, int] = {}
     position: dict[Task, int] = {}
     for i, cluster in enumerate(clusters):
         for j, t in enumerate(cluster):
-            if t in proc_of:
-                raise ScheduleError(f"task {t!r} appears in more than one cluster")
             proc_of[t] = i
             position[t] = j
-    missing = set(graph.tasks()) - set(proc_of)
-    if missing:
-        raise ScheduleError(f"tasks not clustered: {sorted(map(repr, missing))}")
-    extra = set(proc_of) - set(graph.tasks())
-    if extra:
-        raise ScheduleError(f"unknown tasks clustered: {sorted(map(repr, extra))}")
 
     # Count unmet constraints per task: DAG predecessors + cluster predecessor.
     waiting: dict[Task, int] = {}
@@ -92,9 +155,7 @@ def simulate_ordered(graph: TaskGraph, clusters: Sequence[Sequence[Task]]) -> Sc
         raise ScheduleError(
             "clustering deadlocks: cluster orders conflict with precedence"
         )
-    registry = get_registry()
-    registry.inc("simulator.runs")
-    registry.inc("simulator.events", done)
+    _count_run(done)
     return schedule
 
 
@@ -103,6 +164,7 @@ def simulate_clustering(
     assignment: Mapping[Task, int],
     *,
     priority: Mapping[Task, float] | None = None,
+    validate: bool = True,
 ) -> Schedule:
     """Time a processor assignment, deriving per-processor execution orders.
 
@@ -110,25 +172,48 @@ def simulate_clustering(
     ``priority`` (communication-inclusive b-level when omitted); each
     processor executes its tasks in that order.  Because each cluster order
     is a subsequence of one global topological order, the result never
-    deadlocks.
+    deadlocks.  ``validate=False`` skips the assignment-coverage check for
+    internal callers that assign from the graph's own task set.
     """
-    tasks = set(graph.tasks())
-    if set(assignment) != tasks:
-        raise ScheduleError("assignment does not cover exactly the graph's tasks")
+    if validate:
+        tasks = set(graph.tasks())
+        if set(assignment) != tasks:
+            raise ScheduleError("assignment does not cover exactly the graph's tasks")
+
+    gi = _compiled(graph)
+    if gi is not None:
+        if priority is None:
+            prio = b_levels_arr(graph, communication=True)
+        else:
+            prio = [priority[t] for t in gi.tasks]
+        order = priority_topo_order_idx(gi, prio)
+        procs = sorted(set(assignment.values()))
+        remap = {p: i for i, p in enumerate(procs)}
+        proc_arr = [0] * gi.n
+        index_of = gi.index_of
+        for t, p in assignment.items():
+            proc_arr[index_of[t]] = remap[p]
+        clusters_idx: list[list[int]] = [[] for _ in procs]
+        for i in order:
+            clusters_idx[proc_arr[i]].append(i)
+        schedule, done = simulate_ordered_idx(gi, clusters_idx)
+        _count_run(done)
+        return schedule
+
     if priority is None:
-        priority = b_levels(graph, communication=True)
+        priority = _b_levels_raw(graph, True)  # shared memo; read-only here
 
     procs = sorted(set(assignment.values()))
     remap = {p: i for i, p in enumerate(procs)}
     clusters: list[list[Task]] = [[] for _ in procs]
     for t in _priority_topological_order(graph, priority):
         clusters[remap[assignment[t]]].append(t)
-    return simulate_ordered(graph, clusters)
+    return simulate_ordered(graph, clusters, validate=False)
 
 
 def serial_schedule(graph: TaskGraph) -> Schedule:
     """All tasks on processor 0 in topological order — the serial baseline."""
-    return simulate_ordered(graph, [graph.topological_order()])
+    return simulate_ordered(graph, [graph.topological_order()], validate=False)
 
 
 def _priority_topological_order(

@@ -14,7 +14,7 @@ displaced by merely-early ones.
 
 from __future__ import annotations
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ._pool import ProcessorPool
@@ -33,7 +33,7 @@ class DLSScheduler(Scheduler):
         self.max_processors = max_processors
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
-        static_level = b_levels(graph, communication=False)
+        static_level = b_levels_view(graph, communication=False)
         seq = {t: i for i, t in enumerate(graph.tasks())}
         pool = ProcessorPool(graph, max_processors=self.max_processors)
 

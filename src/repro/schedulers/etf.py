@@ -9,7 +9,8 @@ scheduling and provides a sixth comparator for the testbed.
 
 from __future__ import annotations
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
+from ..core.kernels import IndexedPool, b_levels_arr, graph_index, kernels_enabled
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ._pool import ProcessorPool
@@ -28,7 +29,39 @@ class ETFScheduler(Scheduler):
         self.max_processors = max_processors
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
-        level = b_levels(graph, communication=True)
+        if kernels_enabled():
+            return self._schedule_kernel(graph)
+        return self._schedule_dict(graph)
+
+    def _schedule_kernel(self, graph: TaskGraph) -> Schedule:
+        """Same algorithm on the compiled index (id == insertion order)."""
+        gi = graph_index(graph)
+        level = b_levels_arr(graph, communication=True)
+        pool = IndexedPool(gi, max_processors=self.max_processors)
+        indeg = gi.in_degree
+        succ_rows = gi.succ_rows
+        n_sched_preds = [0] * gi.n
+        ready = {i for i in range(gi.n) if indeg[i] == 0}
+
+        while ready:
+            best = None
+            for i in ready:
+                proc, start = pool.best_processor(i, insertion=False)
+                key = (start, -level[i], i)
+                if best is None or key < best[0]:
+                    best = (key, i, proc, start)
+            assert best is not None
+            _, i, proc, start = best
+            pool.place(i, proc, start)
+            ready.remove(i)
+            for j, _ in succ_rows[i]:
+                n_sched_preds[j] += 1
+                if n_sched_preds[j] == indeg[j]:
+                    ready.add(j)
+        return pool.schedule
+
+    def _schedule_dict(self, graph: TaskGraph) -> Schedule:
+        level = b_levels_view(graph, communication=True)
         seq = {t: i for i, t in enumerate(graph.tasks())}
         pool = ProcessorPool(graph, max_processors=self.max_processors)
 

@@ -12,7 +12,7 @@ O(e * (n + e)) with the incremental simulation; fine at testbed sizes.
 
 from __future__ import annotations
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.schedule import Schedule
 from ..core.simulator import simulate_clustering
 from ..core.taskgraph import TaskGraph
@@ -26,11 +26,13 @@ class EZScheduler(Scheduler):
     name = "EZ"
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
         cluster_of = {t: i for i, t in enumerate(graph.tasks())}
 
         def makespan() -> float:
-            return simulate_clustering(graph, cluster_of, priority=priority).makespan
+            return simulate_clustering(
+                graph, cluster_of, priority=priority, validate=False
+            ).makespan
 
         best = makespan()
         edges = sorted(
@@ -42,8 +44,12 @@ class EZScheduler(Scheduler):
             if cu == cv:
                 continue
             merged = {t: (cu if c == cv else c) for t, c in cluster_of.items()}
-            trial = simulate_clustering(graph, merged, priority=priority).makespan
+            trial = simulate_clustering(
+                graph, merged, priority=priority, validate=False
+            ).makespan
             if trial <= best + 1e-12:
                 cluster_of = merged
                 best = trial
-        return simulate_clustering(graph, cluster_of, priority=priority)
+        return simulate_clustering(
+            graph, cluster_of, priority=priority, validate=False
+        )

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import heapq
 
-from ..core.analysis import hu_levels
+from ..core.analysis import hu_levels_view
+from ..core.kernels import IndexedPool, b_levels_arr, graph_index, kernels_enabled
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 from ._pool import ProcessorPool
@@ -31,7 +32,33 @@ class HLFETScheduler(Scheduler):
         self.max_processors = max_processors
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
-        level = hu_levels(graph)
+        if kernels_enabled():
+            return self._schedule_kernel(graph)
+        return self._schedule_dict(graph)
+
+    def _schedule_kernel(self, graph: TaskGraph) -> Schedule:
+        """Same algorithm on the compiled index (id == insertion order)."""
+        gi = graph_index(graph)
+        level = b_levels_arr(graph, communication=False)
+        pool = IndexedPool(gi, max_processors=self.max_processors)
+        indeg = gi.in_degree
+        succ_rows = gi.succ_rows
+        n_sched_preds = [0] * gi.n
+        free = [(-level[i], i) for i in range(gi.n) if indeg[i] == 0]
+        heapq.heapify(free)
+
+        while free:
+            _, i = heapq.heappop(free)
+            proc, start = pool.best_processor(i, insertion=False)
+            pool.place(i, proc, start)
+            for j, _ in succ_rows[i]:
+                n_sched_preds[j] += 1
+                if n_sched_preds[j] == indeg[j]:
+                    heapq.heappush(free, (-level[j], j))
+        return pool.schedule
+
+    def _schedule_dict(self, graph: TaskGraph) -> Schedule:
+        level = hu_levels_view(graph)
         seq = {t: i for i, t in enumerate(graph.tasks())}
         pool = ProcessorPool(graph, max_processors=self.max_processors)
 

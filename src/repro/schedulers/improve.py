@@ -15,7 +15,7 @@ benchmark quantifies how much that closes the gap.
 
 from __future__ import annotations
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.schedule import Schedule
 from ..core.simulator import simulate_clustering
 from ..core.taskgraph import TaskGraph
@@ -48,9 +48,11 @@ class LocalSearchImprover(Scheduler):
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
         seed = self.inner.schedule(graph)
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
         assignment = {p.task: p.processor for p in seed}
-        current = simulate_clustering(graph, assignment, priority=priority)
+        current = simulate_clustering(
+            graph, assignment, priority=priority, validate=False
+        )
         # the re-timing may order clusters differently from the inner
         # heuristic; keep whichever is better as the incumbent
         best_schedule = seed if seed.makespan <= current.makespan else current
@@ -73,7 +75,7 @@ class LocalSearchImprover(Scheduler):
                         continue
                     assignment[task] = target
                     trial = simulate_clustering(
-                        graph, assignment, priority=priority
+                        graph, assignment, priority=priority, validate=False
                     )
                     if trial.makespan < best_span - 1e-9:
                         best_span = trial.makespan
@@ -98,7 +100,7 @@ class LocalSearchImprover(Scheduler):
                             t: (a if c == b else c) for t, c in assignment.items()
                         }
                         trial = simulate_clustering(
-                            graph, trial_assignment, priority=priority
+                            graph, trial_assignment, priority=priority, validate=False
                         )
                         if trial.makespan <= best_span + 1e-9:
                             strictly = trial.makespan < best_span - 1e-9

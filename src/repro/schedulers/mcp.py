@@ -17,7 +17,15 @@ Appendix A.2 / Figure 9 of the paper.  The heuristic:
 
 from __future__ import annotations
 
-from ..core.analysis import alap_times
+from ..core.analysis import alap_times_view
+from ..core.kernels import (
+    GraphIndex,
+    IndexedPool,
+    alap_arr,
+    descendant_masks,
+    graph_index,
+    kernels_enabled,
+)
 from ..core.schedule import Schedule
 from ..core.taskgraph import Task, TaskGraph
 from ..obs.metrics import get_registry
@@ -42,6 +50,34 @@ class MCPScheduler(Scheduler):
         self.max_processors = max_processors
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
+        if kernels_enabled():
+            return self._schedule_kernel(graph)
+        return self._schedule_dict(graph)
+
+    def _schedule_kernel(self, graph: TaskGraph) -> Schedule:
+        """Same algorithm on the compiled index (id == insertion order)."""
+        gi = graph_index(graph)
+        order = self._priority_order_ids(graph, gi)
+        pool = IndexedPool(gi, max_processors=self.max_processors)
+        weights = gi.weights
+        n_slot_insertions = 0
+        for i in order:
+            proc, start = pool.best_processor(i, insertion=self.insertion)
+            if (
+                self.insertion
+                and proc < pool.n_processors
+                and start + weights[i] <= pool.avail(proc) - 1e-12
+            ):
+                # placed into an idle gap, not appended after the last task
+                n_slot_insertions += 1
+            pool.place(i, proc, start)
+        registry = get_registry()
+        if self.insertion:
+            registry.inc("mcp.insertion_attempts", len(order))
+        registry.inc("mcp.slot_insertions", n_slot_insertions)
+        return pool.schedule
+
+    def _schedule_dict(self, graph: TaskGraph) -> Schedule:
         order = self.priority_order(graph)
         pool = ProcessorPool(graph, max_processors=self.max_processors)
         n_slot_insertions = 0
@@ -62,6 +98,28 @@ class MCPScheduler(Scheduler):
         return pool.schedule
 
     @staticmethod
+    def _priority_order_ids(graph: TaskGraph, gi: GraphIndex) -> list[int]:
+        """Kernel variant of :meth:`priority_order`, on integer ids.
+
+        Descendant sets come from one reverse-topological bitmask sweep
+        instead of per-task set-building DFS; keys and tie-breaks are
+        unchanged (id == insertion order == ``seq``).
+        """
+        alap = alap_arr(graph, communication=True)
+        masks = descendant_masks(gi)
+        keys: list[tuple[tuple[float, ...], int]] = []
+        for i in range(gi.n):
+            vals = [alap[i]]
+            m = masks[i]
+            while m:
+                lsb = m & -m
+                vals.append(alap[lsb.bit_length() - 1])
+                m ^= lsb
+            vals.sort()
+            keys.append((tuple(vals), i))
+        return sorted(range(gi.n), key=keys.__getitem__)
+
+    @staticmethod
     def priority_order(graph: TaskGraph) -> list[Task]:
         """Tasks ordered most-critical-first by (own ALAP, descendant ALAPs).
 
@@ -69,7 +127,11 @@ class MCPScheduler(Scheduler):
         (node weights are positive along the connecting path), so the order
         is topological.
         """
-        alap = alap_times(graph, communication=True)
+        if kernels_enabled():
+            gi = graph_index(graph)
+            tasks = gi.tasks
+            return [tasks[i] for i in MCPScheduler._priority_order_ids(graph, gi)]
+        alap = alap_times_view(graph, communication=True)
         seq = {t: i for i, t in enumerate(graph.tasks())}
         keys: dict[Task, tuple] = {}
         for t in graph.tasks():

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.schedule import Schedule
 from ..core.simulator import simulate_clustering
 from ..core.taskgraph import Task, TaskGraph
@@ -64,11 +64,13 @@ class GeneticScheduler(Scheduler):
         tasks = graph.tasks()
         n = len(tasks)
         p = self.max_processors or n
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
 
         def fitness(genome: np.ndarray) -> float:
             assignment = {t: int(genome[i]) for i, t in enumerate(tasks)}
-            return simulate_clustering(graph, assignment, priority=priority).makespan
+            return simulate_clustering(
+                graph, assignment, priority=priority, validate=False
+            ).makespan
 
         pool: list[np.ndarray] = []
         incumbent: Schedule | None = None
@@ -106,7 +108,9 @@ class GeneticScheduler(Scheduler):
                 best_genome, best_score = pool[idx].copy(), scores[idx]
 
         assignment = {t: int(best_genome[i]) for i, t in enumerate(tasks)}
-        found = simulate_clustering(graph, assignment, priority=priority)
+        found = simulate_clustering(
+            graph, assignment, priority=priority, validate=False
+        )
         # re-simulation may order a seed's clusters differently from the
         # seed heuristic itself; never return worse than the best seed
         # (usable only when the seed already respects the processor cap)
@@ -161,10 +165,12 @@ class AnnealingScheduler(Scheduler):
         tasks = graph.tasks()
         n = len(tasks)
         p = self.max_processors or n
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
 
         def evaluate(assign: dict[Task, int]) -> float:
-            return simulate_clustering(graph, assign, priority=priority).makespan
+            return simulate_clustering(
+                graph, assign, priority=priority, validate=False
+            ).makespan
 
         start_schedule = get_scheduler(self.start_heuristic).schedule(graph)
         current = {t: start_schedule.processor_of(t) % p for t in tasks}
@@ -191,7 +197,9 @@ class AnnealingScheduler(Scheduler):
             else:
                 current[t] = old
             temp *= cooling
-        found = simulate_clustering(graph, best, priority=priority)
+        found = simulate_clustering(
+            graph, best, priority=priority, validate=False
+        )
         if (
             start_schedule.n_processors <= p
             and start_schedule.makespan < found.makespan

@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.exceptions import ScheduleError
 from ..core.schedule import Schedule
 from ..core.simulator import _priority_topological_order
@@ -74,7 +74,7 @@ def simulate_one_port(
     if set(assignment) != tasks:
         raise ScheduleError("assignment does not cover exactly the graph's tasks")
     if priority is None:
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
 
     schedule = Schedule()
     transfers: list[Transfer] = []

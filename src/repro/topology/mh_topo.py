@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.schedule import Schedule
 from ..core.taskgraph import Task, TaskGraph
 from ..schedulers.base import Scheduler
@@ -44,7 +44,7 @@ class TopologyMHScheduler(Scheduler):
 
     def _schedule(self, graph: TaskGraph) -> Schedule:
         topo = self.topology
-        level = b_levels(graph, communication=True)
+        level = b_levels_view(graph, communication=True)
         seq = {t: i for i, t in enumerate(graph.tasks())}
 
         schedule = Schedule()

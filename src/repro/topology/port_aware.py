@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.exceptions import GraphError
 from ..core.schedule import Schedule
 from ..core.taskgraph import Task, TaskGraph
@@ -39,7 +39,7 @@ class PortAwareScheduler:
         if graph.n_tasks == 0:
             raise GraphError("MH1P: cannot schedule an empty graph")
         graph.validate()
-        level = b_levels(graph, communication=True)
+        level = b_levels_view(graph, communication=True)
         seq = {t: i for i, t in enumerate(graph.tasks())}
 
         schedule = Schedule()

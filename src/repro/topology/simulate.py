@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..core.analysis import b_levels
+from ..core.analysis import b_levels_view
 from ..core.exceptions import ScheduleError
 from ..core.schedule import Schedule
 from ..core.simulator import _priority_topological_order
@@ -44,7 +44,7 @@ def simulate_on_topology(
                 f"task {t!r} assigned to processor {p} outside {topology!r}"
             )
     if priority is None:
-        priority = b_levels(graph, communication=True)
+        priority = b_levels_view(graph, communication=True)
 
     schedule = Schedule()
     proc_free: dict[int, float] = {}
