@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Performance baseline for the scheduling service (PR: repro.service).
+
+Drives an in-process daemon with the open-loop adversarial load generator
+(:mod:`repro.service.loadgen`) at a ladder of offered rates and records
+completed throughput and latency percentiles per rung, plus a batching
+section showing the digest-grouping win on same-graph bursts.  Writes
+``BENCH_service.json``, the tracked baseline later PRs are measured
+against.
+
+Open-loop arrivals (Poisson, independent of completions) are the honest
+way to measure a server: a closed loop self-throttles and hides queueing
+collapse.  At rates past capacity the daemon is *expected* to shed — the
+baseline records how much, which is the back-pressure contract, not a
+failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                 # full baseline
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --check # CI smoke
+
+Exit codes: 0 ok; 2 throughput floor missed (with ``--check``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import wire
+from repro.generation.workloads import fork_join
+from repro.service.client import AsyncServiceClient
+from repro.service.loadgen import build_mix, run_open_loop, summarize
+from repro.service.server import ServerThread
+
+SEED = 19940815
+
+#: Offered-rate ladder (req/s): below, near, and past expected capacity.
+FULL_RATES = (250.0, 500.0, 1000.0, 2000.0)
+QUICK_RATES = (500.0, 1000.0)
+
+#: Completed-throughput floor at the highest offered rate (req/s).
+FULL_FLOOR = 500.0
+QUICK_FLOOR = 500.0
+
+
+def run_rate_ladder(quick: bool) -> list[dict]:
+    rates = QUICK_RATES if quick else FULL_RATES
+    n_requests = 200 if quick else 600
+    rungs = []
+    mix = build_mix(SEED)
+    for rate in rates:
+        with ServerThread(port=0, workers=2) as st:
+            result = asyncio.run(
+                run_open_loop(
+                    st.address,
+                    rate=rate,
+                    n_requests=n_requests,
+                    mix=mix,
+                    seed=SEED,
+                )
+            )
+        summary = summarize(result)
+        summary["offered_rate_rps"] = rate
+        rungs.append(summary)
+        print(
+            f"rate {rate:7.0f} req/s offered : "
+            f"{summary['throughput_rps']:7.0f} completed, "
+            f"p50 {summary['latency_ms']['p50']:6.1f} ms, "
+            f"p99 {summary['latency_ms']['p99']:6.1f} ms, "
+            f"statuses {summary['statuses']}"
+        )
+    return rungs
+
+
+def run_batching_section(quick: bool) -> dict:
+    """Same-graph burst: digest grouping should make cache misses O(1)."""
+    n = 50 if quick else 200
+    graph = fork_join(6, stages=2)
+
+    async def burst(address) -> dict:
+        async with AsyncServiceClient(address) as ac:
+            before = await ac.stats()
+            futs = [
+                asyncio.ensure_future(ac.schedule(graph, "HLFET"))
+                for _ in range(n)
+            ]
+            results = await asyncio.gather(*futs)
+            after = await ac.stats()
+        identical = len({wire.dumps(r) for r in results}) == 1
+
+        def delta(key: str) -> float:
+            return after["counters"].get(key, 0) - before["counters"].get(key, 0)
+
+        return {
+            "requests": n,
+            "identical": identical,
+            "index_cache_misses": delta("service.index_cache.misses"),
+            "index_cache_hits": delta("service.index_cache.hits"),
+            "grouped_requests": delta("service.batch.grouped_requests"),
+        }
+
+    with ServerThread(port=0, workers=2, batch_max=32) as st:
+        section = asyncio.run(burst(st.address))
+    print(
+        f"batching {section['requests']} same-graph requests : "
+        f"{section['index_cache_misses']:.0f} compile(s), "
+        f"{section['grouped_requests']:.0f} grouped, "
+        f"identical={section['identical']}"
+    )
+    return section
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small sizes for CI")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the throughput floor instead of re-pinning the baseline",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).parent / "out" / "BENCH_service.json"),
+        help="baseline JSON path to pin (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    rungs = run_rate_ladder(args.quick)
+    batching = run_batching_section(args.quick)
+
+    payload = {
+        "format": "repro-bench-service",
+        "version": 1,
+        "quick": args.quick,
+        "seed": SEED,
+        "platform": {
+            "python": platform.python_version(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "rate_ladder": rungs,
+        "batching": batching,
+    }
+
+    if not args.check:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"pinned baseline to {out}")
+
+    if not batching["identical"]:
+        print("FAIL: batched responses diverge", file=sys.stderr)
+        return 1
+    if batching["index_cache_misses"] > 1:
+        print(
+            f"FAIL: {batching['index_cache_misses']:.0f} compiles for a "
+            "same-graph burst (expected 1)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        floor = QUICK_FLOOR if args.quick else FULL_FLOOR
+        top = max(rungs, key=lambda r: r["offered_rate_rps"])
+        if top["throughput_rps"] < floor:
+            print(
+                f"FAIL: {top['throughput_rps']:.0f} req/s completed at "
+                f"{top['offered_rate_rps']:.0f} offered, floor {floor:.0f}",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Subcommands::
     repro-sched workload  fft --param 3 -o fft.json
     repro-sched stats     <results.json>
     repro-sched bench     kernels [--quick] [--check]
+    repro-sched serve     [--port 29267 | --socket PATH] [--workers 2]
+    repro-sched submit    <graph.json> --heuristic DSC [--json] [--deadline-ms 250]
 
 Observability: ``--verbose`` / ``--log-json`` (before the subcommand)
 control structured logging; ``experiment``/``report`` accept
@@ -90,6 +92,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         sched = LocalSearchImprover(sched)
     schedule = sched.schedule(graph)
     schedule.validate(graph)
+    if args.json:
+        from .core import wire
+        from .service.protocol import schedule_result
+
+        print(wire.dumps(schedule_result(sched.name, graph, schedule)))
+        return 0
     print(f"heuristic      : {sched.name}")
     print(f"tasks          : {graph.n_tasks}")
     print(f"serial time    : {graph.serial_time():g}")
@@ -390,6 +398,57 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.protocol import DEFAULT_PORT
+    from .service.server import ReproServer, run_server
+
+    server = ReproServer(
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        socket_path=args.socket,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        workers=args.workers,
+        index_cache_size=args.index_cache_size,
+        manifest_path=args.manifest,
+    )
+    return run_server(server)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .core import wire
+    from .service.client import ServiceClient, ServiceError
+    from .service.protocol import DEFAULT_PORT
+
+    address: tuple[str, int] | str = args.socket or (
+        args.host,
+        DEFAULT_PORT if args.port is None else args.port,
+    )
+    graph = _load_graph(args.graph)
+    try:
+        with ServiceClient(address, timeout=args.timeout) as client:
+            result = client.schedule(
+                graph,
+                args.heuristic,
+                improve=args.improve,
+                deadline_ms=args.deadline_ms,
+            )
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(wire.dumps(result))
+        return 0
+    print(f"heuristic      : {result['heuristic']}")
+    print(f"tasks          : {graph.n_tasks}")
+    print(f"serial time    : {result['serial_time']:g}")
+    print(f"parallel time  : {result['makespan']:g}")
+    print(f"processors     : {result['n_processors']}")
+    speedup = result["serial_time"] / result["makespan"] if result["makespan"] else 0.0
+    print(f"speedup        : {speedup:.3f}")
+    return 0
+
+
 def _jobs_arg(text: str) -> int:
     """argparse type for ``--jobs``: an int >= 1."""
     try:
@@ -420,10 +479,26 @@ def _parse_ids(spec: str, known: dict) -> list[int]:
     return ids
 
 
+def _dist_version() -> str:
+    """Installed package version; falls back to the source tree's
+    ``__version__`` when running uninstalled (``PYTHONPATH=src``)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sched",
         description="Multiprocessor scheduling heuristic testbed (ICPP 1994 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_dist_version()}"
     )
     parser.add_argument(
         "--verbose", action="store_true", help="log at DEBUG instead of INFO"
@@ -431,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--log-json", action="store_true", help="emit JSON-lines structured logs"
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("schedule", help="schedule a graph with one heuristic")
     p.add_argument("graph", help="graph JSON file")
@@ -446,6 +521,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--improve",
         action="store_true",
         help="run local-search improvement on the heuristic's schedule",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON result (same bytes as the service)",
     )
     p.set_defaults(func=_cmd_schedule)
 
@@ -526,6 +606,85 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_export)
 
+    p = sub.add_parser(
+        "serve", help="run the scheduling service daemon (NDJSON over TCP/Unix)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 29267; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--socket", metavar="PATH", help="serve on a Unix socket instead of TCP"
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="admission queue bound; requests beyond it are shed with 503 "
+        "(default %(default)s)",
+    )
+    p.add_argument(
+        "--batch-max",
+        type=int,
+        default=16,
+        metavar="N",
+        help="max requests drained per dispatch round (default %(default)s)",
+    )
+    p.add_argument(
+        "--workers",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="executor threads running scheduler code (default 1)",
+    )
+    p.add_argument(
+        "--index-cache-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="LRU capacity of the decoded-graph/index cache (default %(default)s)",
+    )
+    p.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a run manifest (config + RED metrics) here on drain",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="schedule a graph via a running daemon")
+    p.add_argument("graph", help="graph JSON file")
+    p.add_argument(
+        "--heuristic", default="CLANS", choices=sorted(SCHEDULER_REGISTRY)
+    )
+    p.add_argument(
+        "--improve",
+        action="store_true",
+        help="run local-search improvement on the heuristic's schedule",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None, help="TCP port (default 29267)")
+    p.add_argument("--socket", metavar="PATH", help="connect to a Unix socket")
+    p.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request deadline; late results come back as 504",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=30.0, help="socket timeout in seconds"
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON result (same bytes as `schedule --json`)",
+    )
+    p.set_defaults(func=_cmd_submit)
+
     p = sub.add_parser("experiment", help="run the suite and print tables/figures")
     p.add_argument("--graphs-per-cell", type=int, default=4)
     p.add_argument("--seed", type=int, default=19940815)
@@ -593,7 +752,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_usage(sys.stderr)
+        print(
+            f"{parser.prog}: error: a subcommand is required "
+            "(see --help for the list)",
+            file=sys.stderr,
+        )
+        return 2
     obs.configure(verbose=args.verbose, json_mode=args.log_json)
     return args.func(args)
 

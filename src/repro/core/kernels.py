@@ -51,6 +51,7 @@ from .taskgraph import TaskGraph
 __all__ = [
     "GraphIndex",
     "graph_index",
+    "discard_index",
     "kernels_enabled",
     "use_kernels",
     "t_levels_arr",
@@ -205,6 +206,16 @@ def graph_index(graph: TaskGraph) -> GraphIndex:
     gi = graph.cached(_INDEX_KEY, compute)
     registry.inc("kernels.cache.hits" if hit else "kernels.cache.misses")
     return gi
+
+
+def discard_index(graph: TaskGraph) -> None:
+    """Drop ``graph``'s memoized :class:`GraphIndex`, if any.
+
+    Eviction hook for size-bounded caches (the service's LRU index cache):
+    a long-lived graph object otherwise pins its compiled index for life.
+    The next :func:`graph_index` call recompiles and counts a miss.
+    """
+    graph.uncache(_INDEX_KEY)
 
 
 # ----------------------------------------------------------------------

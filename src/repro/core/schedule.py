@@ -207,14 +207,25 @@ class Schedule:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "Schedule":
-        """Rebuild a schedule written by :meth:`to_dict`."""
+        """Rebuild a schedule written by :meth:`to_dict`.
+
+        The stored ``finish`` is restored verbatim rather than recomputed as
+        ``start + (finish - start)`` — that round trip drifts by 1 ULP for
+        many float pairs, which would break the byte-identity contract of
+        the shared wire codec (:mod:`repro.core.wire`).
+        """
 
         def thaw(t):
             return tuple(thaw(x) for x in t) if isinstance(t, list) else t
 
         s = cls()
         for task, proc, start, finish in data["placements"]:
-            s.place(thaw(task), proc, start, finish - start)
+            task = thaw(task)
+            if task in s._by_task:
+                raise ScheduleError(
+                    f"task {task!r} already placed (duplication forbidden)"
+                )
+            s._by_task[task] = ScheduledTask(task, proc, start, finish)
         return s
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ interoperability and for the generators that lean on networkx utilities.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Hashable, Iterable, Iterator, Mapping
 from types import MappingProxyType
 from typing import Any
@@ -44,7 +45,7 @@ class TaskGraph:
     observed — see DESIGN.md "Caching and invalidation".
     """
 
-    __slots__ = ("_succ", "_pred", "_weight", "_version", "_scratch")
+    __slots__ = ("_succ", "_pred", "_weight", "_version", "_scratch", "_cache_lock")
 
     def __init__(self) -> None:
         self._succ: dict[Task, dict[Task, float]] = {}
@@ -54,6 +55,8 @@ class TaskGraph:
         self._version: int = 0
         #: Memo table for derived values; keys are owned by the computing code.
         self._scratch: dict[Any, Any] = {}
+        #: Serializes memo misses so concurrent readers never compute twice.
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # derived-value cache
@@ -79,12 +82,36 @@ class TaskGraph:
         The memo table is invalidated wholesale by any mutation.  Values are
         returned by reference: callers must treat them as immutable (the
         analysis helpers copy before handing values out to user code).
+
+        Thread safety: the hit path is a lock-free dict read; misses are
+        serialized under a per-graph reentrant lock (reentrant because
+        ``compute`` may itself call :meth:`cached` for a sub-analysis), so
+        concurrent readers of an unmutated graph never compute the same
+        (key, version) twice — the service's worker threads and the
+        :class:`~repro.core.kernels.GraphIndex` compile cache rely on this.
+        Mutating a graph while another thread reads it remains undefined, as
+        for any mutable container.
         """
         try:
             return self._scratch[key]
         except KeyError:
-            value = self._scratch[key] = compute()
-            return value
+            pass
+        with self._cache_lock:
+            try:
+                return self._scratch[key]
+            except KeyError:
+                value = self._scratch[key] = compute()
+                return value
+
+    def uncache(self, key: Hashable) -> None:
+        """Drop one memoized entry (no-op if absent).
+
+        Eviction hook for externally size-bounded caches — e.g. the service
+        evicting a compiled :class:`~repro.core.kernels.GraphIndex` for a
+        graph object that stays alive.
+        """
+        with self._cache_lock:
+            self._scratch.pop(key, None)
 
     # ------------------------------------------------------------------
     # construction
@@ -452,6 +479,7 @@ class TaskGraph:
                 self._pred[v][u] = w
         self._version = 0
         self._scratch = {}
+        self._cache_lock = threading.RLock()
 
     def __repr__(self) -> str:
         return f"TaskGraph(n_tasks={self.n_tasks}, n_edges={self.n_edges})"

@@ -1,0 +1,101 @@
+"""Canonical JSON wire codec for graphs and schedules.
+
+Graphs and schedules cross process boundaries in three places — suite/result
+persistence (:mod:`repro.experiments.persistence`), the CLI's JSON output
+(``repro schedule --json`` / ``repro submit --json``) and the service wire
+protocol (:mod:`repro.service.protocol`).  Before this module each of those
+serialized independently, which made "the same schedule" a fuzzy notion; now
+they all round-trip through one codec, so byte-identity between a library
+call and a service response is a checkable property rather than a hope.
+
+Exactness guarantees:
+
+* **Floats** round-trip exactly: :func:`dumps` uses :func:`repr`-based float
+  formatting (the :mod:`json` default since Python 3.1), ``allow_nan=False``
+  rejects non-finite values (they are not portable JSON), and decoding never
+  re-derives a stored value from arithmetic.  Notably,
+  :meth:`repro.core.schedule.Schedule.from_dict` used to rebuild ``finish``
+  as ``start + (finish - start)``, which drifts by 1 ULP for many inputs —
+  unified here, the stored ``finish`` is restored verbatim.
+* **Ordering** is deterministic: task order is graph insertion order, edge
+  order is per-source adjacency insertion order, and schedule rows are in
+  placement order.  ``sort_keys`` is deliberately **not** used — key order is
+  meaningful (it is the evaluation order the rest of the testbed preserves)
+  and sorting would destroy byte-identity with it.
+* **Tuples** (composite task ids) are stored as lists and restored by
+  structural thawing — the single :func:`thaw_task` used everywhere.
+
+:func:`graph_digest` hashes the canonical encoding, giving a stable identity
+for "the same graph bytes" that the service uses as its micro-batching and
+index-cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections.abc import Mapping
+from typing import Any
+
+from .schedule import Schedule
+from .taskgraph import Task, TaskGraph
+
+__all__ = [
+    "dumps",
+    "loads",
+    "thaw_task",
+    "graph_to_wire",
+    "graph_from_wire",
+    "schedule_to_wire",
+    "schedule_from_wire",
+    "graph_digest",
+]
+
+
+def dumps(obj: Any) -> str:
+    """Canonical JSON text: compact separators, insertion-order keys,
+    non-finite floats rejected.  Two equal payloads always produce the
+    same bytes, so digests and byte-identity assertions are meaningful."""
+    return json.dumps(obj, separators=(",", ":"), allow_nan=False)
+
+
+def loads(text: str | bytes) -> Any:
+    """Inverse of :func:`dumps` (plain ``json.loads``)."""
+    return json.loads(text)
+
+
+def thaw_task(t: Any) -> Task:
+    """Restore a JSON-encoded task id (nested lists become tuples)."""
+    return tuple(thaw_task(x) for x in t) if isinstance(t, list) else t
+
+
+def graph_to_wire(graph: TaskGraph) -> dict:
+    """``{"tasks": [[id, weight], ...], "edges": [[u, v, weight], ...]}``
+    in deterministic (insertion) order — :meth:`TaskGraph.to_dict`."""
+    return graph.to_dict()
+
+
+def graph_from_wire(data: Mapping[str, Any]) -> TaskGraph:
+    """Rebuild a graph encoded by :func:`graph_to_wire`."""
+    return TaskGraph.from_dict(data)
+
+
+def schedule_to_wire(schedule: Schedule) -> dict:
+    """``{"placements": [[task, processor, start, finish], ...]}`` in
+    placement order — :meth:`Schedule.to_dict`."""
+    return schedule.to_dict()
+
+
+def schedule_from_wire(data: Mapping[str, Any]) -> Schedule:
+    """Rebuild a schedule encoded by :func:`schedule_to_wire`, restoring
+    every stored float verbatim."""
+    return Schedule.from_dict(data)
+
+
+def graph_digest(wire: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of a graph's canonical wire encoding.
+
+    Stable across processes for identical payloads; used by the service as
+    the micro-batching and index-cache key.
+    """
+    return hashlib.sha256(dumps(wire).encode("utf-8")).hexdigest()

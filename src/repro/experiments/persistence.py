@@ -28,7 +28,7 @@ import tempfile
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
-from ..core.taskgraph import TaskGraph
+from ..core import wire
 from ..generation.suites import SuiteCell, SuiteGraph
 from ..obs.log import get_logger
 from .faults import FailureRecord
@@ -164,7 +164,7 @@ def save_suite(suite: Iterable[SuiteGraph], path: str | Path) -> int:
                     "weight_range": list(sg.cell.weight_range),
                 },
                 "index": sg.index,
-                "graph": sg.graph.to_dict(),
+                "graph": wire.graph_to_wire(sg.graph),
             }
         )
     payload = {
@@ -196,7 +196,7 @@ def load_suite(path: str | Path) -> list[SuiteGraph]:
             SuiteGraph(
                 cell=cell,
                 index=rec["index"],
-                graph=TaskGraph.from_dict(rec["graph"]),
+                graph=wire.graph_from_wire(rec["graph"]),
             )
         )
     return out

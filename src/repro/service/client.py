@@ -1,0 +1,502 @@
+"""Client SDKs for the scheduling service.
+
+Two clients over the same protocol:
+
+* :class:`ServiceClient` — blocking, for scripts, tests and the ``repro
+  submit`` CLI.  One request in flight at a time over a reused connection.
+* :class:`AsyncServiceClient` — asyncio, pipelined: many requests may be in
+  flight on one connection, correlated by request id.  Used by the load
+  generator (:mod:`repro.service.loadgen`).
+
+Both retry transport failures (connect refused, connection reset) with
+exponential backoff and then raise :class:`ServiceError` with
+``status="unavailable"``.  Resending after a transport failure is safe
+because every op is a pure function of its payload — the daemon holds no
+per-request state.  *Application* errors (shed, invalid, deadline) are
+never retried by the SDK: shed responses are an explicit back-pressure
+signal and the caller decides the policy.
+
+Convenience methods (:meth:`~ServiceClient.schedule`,
+:meth:`~ServiceClient.classify`, :meth:`~ServiceClient.simulate`,
+:meth:`~ServiceClient.batch`) accept :class:`~repro.core.taskgraph.TaskGraph`
+objects or already-encoded wire dicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from ..core import wire
+from ..core.taskgraph import TaskGraph
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_FRAME_BYTES,
+    TOO_LARGE,
+    UNAVAILABLE,
+    ProtocolError,
+    decode_response,
+    encode_request,
+)
+
+__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient", "parse_address"]
+
+Address = "tuple[str, int] | str"
+
+
+class ServiceError(Exception):
+    """An error response from the service (or a transport failure).
+
+    ``code``/``status`` mirror the wire error object: 400 ``invalid``,
+    413 ``too-large``, 500 ``internal``, 503 ``shed``/``draining``,
+    504 ``deadline`` — and the client-side ``code=0``/``status=
+    "unavailable"`` when the daemon could not be reached at all.
+    """
+
+    def __init__(self, code: int, status: str, message: str) -> None:
+        super().__init__(f"[{code} {status}] {message}")
+        self.code = code
+        self.status = status
+        self.message = message
+
+
+def parse_address(spec: "Address") -> "Address":
+    """Normalize an address: ``(host, port)`` passes through, a string with
+    a colon splits into ``(host, port)``, anything else is a Unix path."""
+    if isinstance(spec, tuple):
+        return (spec[0], int(spec[1]))
+    if ":" in spec and not spec.startswith(("/", ".")):
+        host, _, port = spec.rpartition(":")
+        return (host or "127.0.0.1", int(port))
+    return spec
+
+
+def _encode_graph(graph: "TaskGraph | Mapping[str, Any]") -> dict:
+    if isinstance(graph, TaskGraph):
+        return wire.graph_to_wire(graph)
+    return dict(graph)
+
+
+def _result_or_raise(response: Mapping[str, Any]) -> Any:
+    if response.get("ok"):
+        return response.get("result")
+    err = response.get("error") or {}
+    raise ServiceError(
+        int(err.get("code", 500)),
+        str(err.get("status", "error")),
+        str(err.get("message", "unknown error")),
+    )
+
+
+class _OpsMixin:
+    """Shared payload builders; subclasses provide ``call``."""
+
+    @staticmethod
+    def _schedule_params(
+        graph: "TaskGraph | Mapping[str, Any]",
+        heuristic: str,
+        improve: bool,
+    ) -> dict:
+        params: dict[str, Any] = {
+            "graph": _encode_graph(graph),
+            "heuristic": heuristic,
+        }
+        if improve:
+            params["improve"] = True
+        return params
+
+    @staticmethod
+    def _simulate_params(
+        graph: "TaskGraph | Mapping[str, Any]",
+        clusters: Sequence[Sequence[Any]],
+    ) -> dict:
+        return {
+            "graph": _encode_graph(graph),
+            "clusters": [list(c) for c in clusters],
+        }
+
+    @staticmethod
+    def _batch_params(requests: Sequence[Mapping[str, Any]]) -> dict:
+        subs = []
+        for req in requests:
+            sub = dict(req)
+            if "params" in sub and isinstance(sub["params"], dict):
+                params = dict(sub["params"])
+                if "graph" in params:
+                    params["graph"] = _encode_graph(params["graph"])
+                sub["params"] = params
+            subs.append(sub)
+        return {"requests": subs}
+
+
+class ServiceClient(_OpsMixin):
+    """Blocking client with connection reuse and transport retries.
+
+    ``address`` is ``(host, port)``, ``"host:port"`` or a Unix socket path.
+    ``retries`` counts *re*-attempts after a transport failure; backoff is
+    ``backoff * 2**attempt`` seconds.  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        address: "Address" = ("127.0.0.1", DEFAULT_PORT),
+        *,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+
+    # -- connection management ----------------------------------------
+    def _connect(self) -> None:
+        if isinstance(self.address, tuple):
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+        else:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.address)
+        if isinstance(self.address, tuple):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (reopened transparently on next call)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request/response ---------------------------------------------
+    def call(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> Any:
+        """Send one request and return its ``result``; raises
+        :class:`ServiceError` on an error response or transport failure."""
+        self._next_id += 1
+        frame = encode_request(
+            op, params, id=self._next_id, deadline_ms=deadline_ms
+        )
+        if len(frame) > self.max_frame_bytes:
+            raise ServiceError(
+                TOO_LARGE,
+                "too-large",
+                f"request frame of {len(frame)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit",
+            )
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                if self._file is None:
+                    self._connect()
+                assert self._file is not None
+                self._file.write(frame)
+                self._file.flush()
+                line = self._file.readline(self.max_frame_bytes + 1)
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                return _result_or_raise(decode_response(line))
+            except ProtocolError as exc:
+                self.close()
+                raise ServiceError(exc.code, exc.status, str(exc)) from None
+            except (OSError, ConnectionError, EOFError) as exc:
+                self.close()
+                last_error = exc
+        raise ServiceError(
+            UNAVAILABLE,
+            "unavailable",
+            f"could not reach {self.address!r} after {self.retries + 1} "
+            f"attempts: {last_error}",
+        )
+
+    # -- convenience ops ----------------------------------------------
+    def schedule(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        heuristic: str = "CLANS",
+        *,
+        improve: bool = False,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return self.call(
+            "schedule",
+            self._schedule_params(graph, heuristic, improve),
+            deadline_ms=deadline_ms,
+        )
+
+    def classify(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return self.call(
+            "classify", {"graph": _encode_graph(graph)}, deadline_ms=deadline_ms
+        )
+
+    def simulate(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        clusters: Sequence[Sequence[Any]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return self.call(
+            "simulate",
+            self._simulate_params(graph, clusters),
+            deadline_ms=deadline_ms,
+        )
+
+    def batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> list[dict]:
+        """Submit sub-requests in one frame; returns their response objects
+        (each ``{"ok": ...}`` — per-sub errors do not raise)."""
+        result = self.call(
+            "batch", self._batch_params(requests), deadline_ms=deadline_ms
+        )
+        return result["responses"]
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+
+class AsyncServiceClient(_OpsMixin):
+    """Pipelined asyncio client: many in-flight requests on one connection,
+    responses correlated by id.
+
+    Create with :meth:`connect`; close with :meth:`close` (or use
+    ``async with``).  Transport retries mirror :class:`ServiceClient`, but
+    only for establishing the connection and writing — once a request is
+    in flight its future fails fast on connection loss (the pipelined
+    requests behind it would otherwise be retried out of order).
+    """
+
+    def __init__(
+        self,
+        address: "Address" = ("127.0.0.1", DEFAULT_PORT),
+        *,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self.address = parse_address(address)
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._conn_lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, address: "Address", **kwargs: Any) -> "AsyncServiceClient":
+        client = cls(address, **kwargs)
+        await client._ensure_connected()
+        return client
+
+    async def _ensure_connected(self) -> None:
+        # Serialized: concurrent first calls must not each open a connection
+        # and spawn duplicate read loops over the same reader.
+        async with self._conn_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            await self._connect_locked()
+
+    async def _connect_locked(self) -> None:
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
+            try:
+                if isinstance(self.address, tuple):
+                    reader, writer = await asyncio.open_connection(
+                        *self.address, limit=self.max_frame_bytes
+                    )
+                else:
+                    reader, writer = await asyncio.open_unix_connection(
+                        self.address, limit=self.max_frame_bytes
+                    )
+                self._reader, self._writer = reader, writer
+                self._reader_task = asyncio.get_running_loop().create_task(
+                    self._read_loop()
+                )
+                return
+            except OSError as exc:
+                last_error = exc
+        raise ServiceError(
+            UNAVAILABLE,
+            "unavailable",
+            f"could not connect to {self.address!r}: {last_error}",
+        )
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        error: Exception = ConnectionError("connection closed")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = decode_response(line)
+                except ProtocolError as exc:
+                    error = exc
+                    break
+                fut = self._pending.pop(response.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(response)
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            error = exc
+        # fail every still-pending request
+        pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(
+                    ServiceError(UNAVAILABLE, "unavailable", f"connection lost: {error}")
+                )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+        if self._reader_task is not None:
+            await asyncio.wait({self._reader_task})
+            self._reader_task = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        await self._ensure_connected()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def call(
+        self,
+        op: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        deadline_ms: float | None = None,
+    ) -> Any:
+        await self._ensure_connected()
+        assert self._writer is not None
+        self._next_id += 1
+        req_id = self._next_id
+        frame = encode_request(op, params, id=req_id, deadline_ms=deadline_ms)
+        if len(frame) > self.max_frame_bytes:
+            raise ServiceError(
+                TOO_LARGE,
+                "too-large",
+                f"request frame of {len(frame)} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte limit",
+            )
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = fut
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._pending.pop(req_id, None)
+            raise ServiceError(
+                UNAVAILABLE, "unavailable", f"send failed: {exc}"
+            ) from None
+        response = await fut
+        return _result_or_raise(response)
+
+    # -- convenience ops ----------------------------------------------
+    async def schedule(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        heuristic: str = "CLANS",
+        *,
+        improve: bool = False,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return await self.call(
+            "schedule",
+            self._schedule_params(graph, heuristic, improve),
+            deadline_ms=deadline_ms,
+        )
+
+    async def classify(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return await self.call(
+            "classify", {"graph": _encode_graph(graph)}, deadline_ms=deadline_ms
+        )
+
+    async def simulate(
+        self,
+        graph: "TaskGraph | Mapping[str, Any]",
+        clusters: Sequence[Sequence[Any]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        return await self.call(
+            "simulate",
+            self._simulate_params(graph, clusters),
+            deadline_ms=deadline_ms,
+        )
+
+    async def batch(
+        self,
+        requests: Sequence[Mapping[str, Any]],
+        *,
+        deadline_ms: float | None = None,
+    ) -> list[dict]:
+        result = await self.call(
+            "batch", self._batch_params(requests), deadline_ms=deadline_ms
+        )
+        return result["responses"]
+
+    async def health(self) -> dict:
+        return await self.call("health")
+
+    async def stats(self) -> dict:
+        return await self.call("stats")

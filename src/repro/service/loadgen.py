@@ -1,0 +1,247 @@
+"""Open-loop load generator for the scheduling service.
+
+Open-loop means arrivals are scheduled by a Poisson process *independent of
+completions*: a slow server does not slow the generator down, it just grows
+the in-flight set.  Closed-loop generators (issue → wait → issue) hide
+queueing collapse by self-throttling and report flattering tail latencies;
+open-loop is the methodology PISA-style serving benchmarks use, and it is
+what exercises the daemon's admission control for real — shed responses
+(503) only appear when arrivals genuinely outpace service.
+
+The request mix is adversarial on purpose:
+
+* a small pool of graphs reused across requests (Zipf-like skew), so the
+  micro-batcher and the LRU index cache see realistic digest reuse;
+* a spread of sizes, including one "heavy" graph much larger than the rest,
+  so batches have uneven service times;
+* a configurable fraction of malformed frames, unknown-op frames, and
+  tight-deadline requests, so the error paths stay on the measured path.
+
+Results are raw per-request records plus a summary (throughput, p50/p99,
+status counts) shaped for ``benchmarks/bench_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core import wire
+from ..generation.random_dag import generate_pdg
+from ..generation.workloads import chain, fork_join, gaussian_elimination
+from .client import AsyncServiceClient, ServiceError
+from .protocol import DEFAULT_PORT
+
+__all__ = ["LoadMix", "LoadResult", "build_mix", "run_open_loop", "summarize"]
+
+
+@dataclass
+class LoadMix:
+    """A prepared request mix: wire-encoded graphs plus fault knobs."""
+
+    graphs: list[dict]
+    weights: list[float]
+    heuristics: list[str]
+    invalid_fraction: float = 0.0
+    unknown_op_fraction: float = 0.0
+    tight_deadline_fraction: float = 0.0
+    #: deadline used by the tight-deadline slice, in milliseconds.
+    tight_deadline_ms: float = 0.001
+
+
+@dataclass
+class LoadResult:
+    """Everything one run produced."""
+
+    records: list[dict] = field(default_factory=list)
+    offered: int = 0
+    duration_s: float = 0.0
+
+
+def build_mix(
+    seed: int = 0,
+    *,
+    n_random: int = 6,
+    invalid_fraction: float = 0.02,
+    unknown_op_fraction: float = 0.01,
+    tight_deadline_fraction: float = 0.02,
+    heuristics: list[str] | None = None,
+) -> LoadMix:
+    """The standard adversarial mix: structured workloads + random PDGs,
+    Zipf-skewed so a few digests dominate (exercising batching/cache), one
+    oversized-by-comparison Gaussian-elimination graph as the heavy tail."""
+    rng = np.random.default_rng(seed)
+    graphs = [
+        chain(12),
+        fork_join(8, stages=2),
+        gaussian_elimination(9),  # the heavy one: ~50 tasks, dense deps
+    ]
+    for i in range(n_random):
+        graphs.append(
+            generate_pdg(
+                rng,
+                n_tasks=10 + 6 * (i % 3),
+                band=i % 3,
+                anchor=2 + (i % 2),
+                weight_range=(1, 100),
+            )
+        )
+    encoded = [wire.graph_to_wire(g) for g in graphs]
+    # Zipf-like: weight 1/rank, so graph 0 is requested ~k times more often
+    # than graph k-1 and digest reuse is guaranteed under any rate.
+    weights = [1.0 / (rank + 1) for rank in range(len(encoded))]
+    return LoadMix(
+        graphs=encoded,
+        weights=weights,
+        heuristics=heuristics or ["CLANS", "HLFET", "ETF", "LC"],
+        invalid_fraction=invalid_fraction,
+        unknown_op_fraction=unknown_op_fraction,
+        tight_deadline_fraction=tight_deadline_fraction,
+    )
+
+
+def _pick_request(mix: LoadMix, rng: random.Random) -> dict:
+    """One request descriptor: op/params/deadline + expectation tag."""
+    roll = rng.random()
+    if roll < mix.invalid_fraction:
+        return {"kind": "invalid"}
+    roll -= mix.invalid_fraction
+    if roll < mix.unknown_op_fraction:
+        return {"kind": "unknown_op"}
+    (graph,) = rng.choices(mix.graphs, weights=mix.weights)
+    heuristic = rng.choice(mix.heuristics)
+    deadline_ms = None
+    kind = "ok"
+    roll -= mix.unknown_op_fraction
+    if roll < mix.tight_deadline_fraction:
+        deadline_ms = mix.tight_deadline_ms
+        kind = "tight_deadline"
+    op_roll = rng.random()
+    if op_roll < 0.15:
+        op, params = "classify", {"graph": graph}
+    elif op_roll < 0.25:
+        op, params = "batch", {
+            "requests": [
+                {"op": "classify", "params": {"graph": graph}},
+                {"op": "schedule", "params": {"graph": graph, "heuristic": heuristic}},
+            ]
+        }
+    else:
+        op, params = "schedule", {"graph": graph, "heuristic": heuristic}
+    return {
+        "kind": kind,
+        "op": op,
+        "params": params,
+        "deadline_ms": deadline_ms,
+    }
+
+
+async def _issue(
+    client: AsyncServiceClient,
+    descriptor: dict,
+    records: list[dict],
+) -> None:
+    start = time.perf_counter()
+    status = "ok"
+    try:
+        if descriptor["kind"] == "invalid":
+            # Well-formed frame, garbage payload: must come back 400
+            # without poisoning the pipelined connection.
+            result = await client.call("schedule", {"graph": "not-a-graph"})
+        elif descriptor["kind"] == "unknown_op":
+            result = await client.call("frobnicate", {})
+        else:
+            result = await client.call(
+                descriptor["op"],
+                descriptor["params"],
+                deadline_ms=descriptor["deadline_ms"],
+            )
+            del result
+    except ServiceError as exc:
+        status = exc.status
+    records.append(
+        {
+            "kind": descriptor["kind"],
+            "status": status,
+            "latency_ms": (time.perf_counter() - start) * 1e3,
+        }
+    )
+
+
+async def run_open_loop(
+    address: "tuple[str, int] | str" = ("127.0.0.1", DEFAULT_PORT),
+    *,
+    rate: float = 500.0,
+    n_requests: int = 200,
+    mix: LoadMix | None = None,
+    seed: int = 0,
+    n_connections: int = 4,
+) -> LoadResult:
+    """Fire ``n_requests`` at ``rate``/s with exponential interarrivals.
+
+    Requests round-robin over ``n_connections`` pipelined connections; each
+    is launched as its own task at its scheduled arrival instant, never
+    waiting for earlier responses (the open-loop property).
+    """
+    mix = mix or build_mix(seed)
+    rng = random.Random(seed)
+    clients = [AsyncServiceClient(address) for _ in range(n_connections)]
+    result = LoadResult()
+    tasks: list[asyncio.Task] = []
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    next_arrival = start
+    try:
+        for i in range(n_requests):
+            now = loop.time()
+            if next_arrival > now:
+                await asyncio.sleep(next_arrival - now)
+            descriptor = _pick_request(mix, rng)
+            client = clients[i % n_connections]
+            tasks.append(
+                loop.create_task(_issue(client, descriptor, result.records))
+            )
+            result.offered += 1
+            next_arrival += rng.expovariate(rate)
+        if tasks:
+            await asyncio.wait(tasks)
+    finally:
+        for client in clients:
+            await client.close()
+    result.duration_s = loop.time() - start
+    return result
+
+
+def summarize(result: LoadResult) -> dict[str, Any]:
+    """Throughput + latency percentiles + status histogram, JSON-ready."""
+    latencies = sorted(r["latency_ms"] for r in result.records)
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        idx = min(len(latencies) - 1, int(round(p / 100.0 * (len(latencies) - 1))))
+        return latencies[idx]
+
+    statuses: dict[str, int] = {}
+    for rec in result.records:
+        statuses[rec["status"]] = statuses.get(rec["status"], 0) + 1
+    return {
+        "offered": result.offered,
+        "completed": len(result.records),
+        "duration_s": result.duration_s,
+        "throughput_rps": (
+            len(result.records) / result.duration_s if result.duration_s else 0.0
+        ),
+        "latency_ms": {
+            "p50": pct(50),
+            "p90": pct(90),
+            "p99": pct(99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "statuses": dict(sorted(statuses.items())),
+    }

@@ -245,3 +245,63 @@ class TestObservability:
         orphan.write_text("{}")
         with pytest.raises(SystemExit, match="manifest"):
             main(["stats", str(orphan)])
+
+
+class TestVersionAndUsage:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro-sched 1." in capsys.readouterr().out
+
+    def test_bare_invocation_prints_usage_and_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "subcommand is required" in err
+
+
+class TestScheduleJson:
+    def test_json_output_is_canonical_service_result(self, graph_file, capsys):
+        from repro.core import wire
+        from repro.core.taskgraph import TaskGraph
+        from repro.schedulers.base import get_scheduler
+        from repro.service.protocol import schedule_result
+
+        assert main(["schedule", graph_file, "--heuristic", "DSC", "--json"]) == 0
+        out = capsys.readouterr().out
+        graph = TaskGraph.from_dict(json.loads(open(graph_file).read()))
+        direct = get_scheduler("DSC").schedule(graph)
+        expected = wire.dumps(schedule_result("DSC", graph, direct)) + "\n"
+        assert out == expected
+
+
+class TestServeSubmit:
+    def test_submit_json_matches_schedule_json(self, graph_file, capsys, tmp_path):
+        from repro.service.server import ServerThread
+
+        sock = str(tmp_path / "svc.sock")
+        with ServerThread(socket_path=sock):
+            assert (
+                main(
+                    [
+                        "submit",
+                        graph_file,
+                        "--heuristic",
+                        "DSC",
+                        "--socket",
+                        sock,
+                        "--json",
+                    ]
+                )
+                == 0
+            )
+            via_service = capsys.readouterr().out
+            assert main(["schedule", graph_file, "--heuristic", "DSC", "--json"]) == 0
+            direct = capsys.readouterr().out
+        assert via_service == direct
+
+    def test_submit_against_dead_daemon_fails(self, graph_file, tmp_path, capsys):
+        sock = str(tmp_path / "nothing.sock")
+        assert main(["submit", graph_file, "--socket", sock]) == 1
+        assert "service error" in capsys.readouterr().err

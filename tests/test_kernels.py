@@ -288,3 +288,73 @@ class TestKernelObservability:
         assert counters.get("kernels.cache.hits") == 2
         stats = sandbox.timer_stats("kernels.compile")
         assert stats.count == 1
+
+
+# ----------------------------------------------------------------------
+# concurrent access (the daemon compiles indexes from executor threads)
+# ----------------------------------------------------------------------
+class TestConcurrentIndexAccess:
+    def test_one_compile_per_graph_version_under_contention(self):
+        import threading
+
+        from repro.core.kernels import discard_index
+
+        g = GRAPHS[0].copy()
+        sandbox = MetricsRegistry()
+        results: list[GraphIndex] = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()  # maximize overlap on the memoization miss path
+            results.append(graph_index(g))
+
+        with use_registry(sandbox):
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        counters = sandbox.counters()
+        assert counters.get("kernels.cache.misses") == 1
+        assert counters.get("kernels.cache.hits") == 7
+        assert sandbox.timer_stats("kernels.compile").count == 1
+        # no torn reads: every thread saw the one compiled index
+        assert len(results) == 8
+        assert all(idx is results[0] for idx in results)
+        discard_index(g)
+
+    def test_mutation_then_concurrent_reads_stay_consistent(self):
+        import threading
+
+        g = GRAPHS[0].copy()
+        first = graph_index(g)
+        g.add_task("extra", 1.0)  # bumps the version, invalidating the memo
+        seen: list[GraphIndex] = []
+        barrier = threading.Barrier(6)
+
+        def worker():
+            barrier.wait()
+            idx = graph_index(g)
+            assert idx.n == g.n_tasks  # never the stale pre-mutation index
+            seen.append(idx)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 6
+        assert all(idx is seen[0] for idx in seen)
+        assert seen[0] is not first
+
+    def test_discard_index_forces_recompile(self):
+        from repro.core.kernels import discard_index
+
+        g = GRAPHS[0].copy()
+        sandbox = MetricsRegistry()
+        with use_registry(sandbox):
+            a = graph_index(g)
+            discard_index(g)
+            b = graph_index(g)
+        assert a is not b
+        assert sandbox.counters().get("kernels.cache.misses") == 2

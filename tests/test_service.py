@@ -1,0 +1,305 @@
+"""The scheduling service: transport-transparency, back-pressure, drain.
+
+The central contract is byte-identity: a schedule obtained through the
+daemon is the same bytes as one computed by a direct library call, for
+every registered heuristic.  Everything else — shedding, deadlines,
+batching, the index cache, graceful drain — must degrade *visibly*
+(typed error responses) rather than corrupt or silently drop work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core import wire
+from repro.generation.workloads import fork_join, gaussian_elimination
+from repro.schedulers.base import SCHEDULER_REGISTRY, get_scheduler
+from repro.service import ServerThread, ServiceClient, ServiceError
+from repro.service.protocol import schedule_result
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One shared daemon for the read-only tests (port 0 = ephemeral)."""
+    with ServerThread(port=0, workers=2) as st:
+        yield st
+
+
+@pytest.fixture
+def client(server):
+    with ServiceClient(server.address) as c:
+        yield c
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("name", sorted(SCHEDULER_REGISTRY))
+    def test_every_heuristic_matches_library(self, client, name):
+        graph = fork_join(4)  # 6 tasks: small enough for OPT's exact search
+        via_service = client.schedule(graph, name)
+        direct = get_scheduler(name).schedule(graph)
+        expected = schedule_result(name, graph, direct)
+        assert wire.dumps(via_service) == wire.dumps(expected)
+
+    def test_improve_matches_library(self, client):
+        from repro.schedulers.improve import LocalSearchImprover
+
+        graph = fork_join(4)
+        via_service = client.schedule(graph, "HLFET", improve=True)
+        sched = LocalSearchImprover(get_scheduler("HLFET"))
+        expected = schedule_result(sched.name, graph, sched.schedule(graph))
+        assert wire.dumps(via_service) == wire.dumps(expected)
+
+
+class TestOps:
+    def test_health(self, client):
+        h = client.health()
+        assert h["status"] == "ok"
+        assert h["uptime_s"] >= 0
+
+    def test_classify(self, client, paper_example):
+        res = client.classify(paper_example)
+        assert res["n_tasks"] == 5
+        assert res["n_edges"] == 5
+        assert res["serial_time"] == 150.0
+
+    def test_simulate(self, client, paper_example):
+        direct = get_scheduler("LC").schedule(paper_example)
+        res = client.simulate(paper_example, direct.clusters())
+        assert res["makespan"] == direct.makespan
+
+    def test_batch_mixed_results(self, client, paper_example):
+        responses = client.batch(
+            [
+                {"op": "classify", "params": {"graph": paper_example}},
+                {"op": "schedule", "params": {"graph": paper_example, "heuristic": "NOPE"}},
+                {"op": "schedule", "params": {"graph": paper_example, "heuristic": "HU"}},
+            ]
+        )
+        assert [r["ok"] for r in responses] == [True, False, True]
+        assert responses[1]["error"]["code"] == 400
+        assert responses[2]["result"]["heuristic"] == "HU"
+
+    def test_batch_rejects_nesting(self, client, paper_example):
+        (resp,) = client.batch([{"op": "batch", "params": {"requests": []}}])
+        assert not resp["ok"]
+        assert resp["error"]["code"] == 400
+
+    def test_stats_counts_requests(self, client, paper_example):
+        client.classify(paper_example)
+        stats = client.stats()
+        assert stats["counters"].get("service.requests", 0) >= 1
+        assert stats["queue_capacity"] == 128
+
+    def test_index_cache_hit_on_repeat(self, server, paper_example):
+        with ServiceClient(server.address) as c:
+            c.schedule(paper_example, "HLFET")
+            before = c.stats()["counters"].get("service.index_cache.hits", 0)
+            c.schedule(paper_example, "DSC")
+            after = c.stats()["counters"].get("service.index_cache.hits", 0)
+        assert after > before
+
+
+class TestErrors:
+    def test_unknown_op_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.call("frobnicate", {})
+        assert exc.value.code == 400
+
+    def test_missing_graph_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.call("schedule", {"heuristic": "HU"})
+        assert exc.value.code == 400
+
+    def test_malformed_graph_is_400(self, client):
+        with pytest.raises(ServiceError) as exc:
+            client.call("schedule", {"graph": {"tasks": "nonsense"}})
+        assert exc.value.code == 400
+
+    def test_bad_json_line_is_400_and_connection_survives(self, server):
+        with socket.create_connection(server.address) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"this is not json\n")
+            fh.flush()
+            resp = json.loads(fh.readline())
+            assert resp["ok"] is False
+            assert resp["error"]["code"] == 400
+            # same connection still serves well-formed frames
+            fh.write(b'{"id": 1, "op": "health", "params": {}}\n')
+            fh.flush()
+            resp = json.loads(fh.readline())
+            assert resp["ok"] is True
+
+    def test_unreachable_daemon_is_unavailable(self):
+        client = ServiceClient(("127.0.0.1", 1), retries=1, backoff=0.01)
+        with pytest.raises(ServiceError) as exc:
+            client.health()
+        assert exc.value.status == "unavailable"
+
+    def test_client_rejects_oversized_frame_locally(self, server):
+        client = ServiceClient(server.address, max_frame_bytes=256)
+        with pytest.raises(ServiceError) as exc:
+            client.schedule(gaussian_elimination(8))
+        assert exc.value.code == 413
+
+
+class TestOversizedFrames:
+    def test_server_responds_413_then_closes(self):
+        with ServerThread(port=0, max_frame_bytes=4096) as st:
+            with socket.create_connection(st.address) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b'{"op": "health", "padding": "' + b"x" * 8192 + b'"}\n')
+                fh.flush()
+                resp = json.loads(fh.readline())
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == 413
+                # frame sync is lost after an overrun, so the server closes
+                assert fh.readline() == b""
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_is_504(self):
+        # one worker: a heavy request (GA, ~200ms) occupies it while a
+        # 1 ms-deadline request waits in the queue, guaranteeing the miss
+        with ServerThread(port=0, workers=1) as st:
+            heavy = gaussian_elimination(12)
+            light = fork_join(3)
+
+            async def run():
+                from repro.service.client import AsyncServiceClient
+
+                async with AsyncServiceClient(st.address) as ac:
+                    slow = asyncio.ensure_future(ac.schedule(heavy, "GA"))
+                    await asyncio.sleep(0.05)  # let the heavy one start
+                    with pytest.raises(ServiceError) as exc:
+                        await ac.schedule(light, deadline_ms=1)
+                    assert exc.value.code == 504
+                    await slow  # the heavy request itself still completes
+
+            asyncio.run(run())
+
+
+class TestShedding:
+    def test_queue_overflow_sheds_503(self):
+        with ServerThread(port=0, workers=1, queue_size=2) as st:
+            heavy = gaussian_elimination(12)
+
+            async def run():
+                from repro.service.client import AsyncServiceClient
+
+                async with AsyncServiceClient(st.address) as ac:
+                    futs = [
+                        asyncio.ensure_future(ac.schedule(heavy, "GA"))
+                        for _ in range(12)
+                    ]
+                    done = await asyncio.gather(*futs, return_exceptions=True)
+                    statuses = [
+                        e.status if isinstance(e, ServiceError) else "ok"
+                        for e in done
+                    ]
+                    assert "shed" in statuses  # queue bound enforced
+                    assert "ok" in statuses  # admitted work still completes
+                    assert all(s in ("ok", "shed") for s in statuses)
+
+            asyncio.run(run())
+
+
+class TestBatchingByDigest:
+    def test_same_graph_requests_share_one_compile(self):
+        # pipeline many same-graph requests; the dispatcher groups them by
+        # digest, so the index compiles once for the whole burst
+        with ServerThread(port=0, workers=1, batch_max=32) as st:
+            graph = fork_join(6, stages=2)
+
+            async def run():
+                from repro.service.client import AsyncServiceClient
+
+                async with AsyncServiceClient(st.address) as ac:
+                    before = await ac.stats()
+                    futs = [
+                        asyncio.ensure_future(ac.schedule(graph, "HLFET"))
+                        for _ in range(10)
+                    ]
+                    results = await asyncio.gather(*futs)
+                    after = await ac.stats()
+                    return results, before, after
+
+            results, before, after = asyncio.run(run())
+            assert len({wire.dumps(r) for r in results}) == 1
+
+            def delta(key):
+                # the metrics registry is process-global, so compare deltas
+                return after["counters"].get(key, 0) - before["counters"].get(key, 0)
+
+            assert delta("service.index_cache.misses") == 1  # one decode+compile
+            assert delta("service.index_cache.misses") + delta(
+                "service.index_cache.hits"
+            ) <= 10
+
+
+class TestDrain:
+    def test_zero_dropped_in_flight(self):
+        # fire a burst, then drain mid-flight: every request must get a
+        # response — completed work or an explicit 503 "draining", never
+        # a silently dropped frame
+        st = ServerThread(port=0, workers=1).start()
+        graph = gaussian_elimination(12)
+
+        async def run():
+            from repro.service.client import AsyncServiceClient
+
+            async with AsyncServiceClient(st.address) as ac:
+                futs = [
+                    asyncio.ensure_future(ac.schedule(graph, "GA"))
+                    for _ in range(8)
+                ]
+                await asyncio.sleep(0.05)
+                threading.Thread(target=st.stop, daemon=True).start()
+                done = await asyncio.gather(*futs, return_exceptions=True)
+                return done
+
+        done = asyncio.run(run())
+        st.stop()
+        assert len(done) == 8
+        for outcome in done:
+            if isinstance(outcome, ServiceError):
+                assert outcome.status in ("shed", "draining")
+            else:
+                assert isinstance(outcome, Exception) is False
+                assert outcome["heuristic"] == "GA"
+
+    def test_new_connections_refused_after_drain(self):
+        with ServerThread(port=0) as st:
+            addr = st.address
+            with ServiceClient(addr) as c:
+                assert c.health()["status"] == "ok"
+            st.stop()
+            late = ServiceClient(addr, retries=0, backoff=0.01)
+            with pytest.raises(ServiceError):
+                late.health()
+
+    def test_manifest_written_on_drain(self, tmp_path):
+        manifest_path = tmp_path / "serve_manifest.json"
+        with ServerThread(port=0, manifest_path=str(manifest_path)) as st:
+            with ServiceClient(st.address) as c:
+                c.classify(fork_join(3))
+        payload = json.loads(manifest_path.read_text())
+        assert payload["config"]["command"] == "serve"
+        counters = payload["metrics"]["counters"]
+        assert counters.get("service.requests", 0) >= 1
+
+
+class TestUnixSocket:
+    def test_round_trip_over_unix_socket(self, tmp_path, paper_example):
+        sock_path = str(tmp_path / "repro.sock")
+        with ServerThread(socket_path=sock_path) as st:
+            assert st.server.endpoint == f"unix:{sock_path}"
+            with ServiceClient(sock_path) as c:
+                direct = get_scheduler("DSC").schedule(paper_example)
+                res = c.schedule(paper_example, "DSC")
+                expected = schedule_result("DSC", paper_example, direct)
+                assert wire.dumps(res) == wire.dumps(expected)

@@ -1,0 +1,89 @@
+"""The canonical wire codec: one JSON form for every graph/schedule exchange."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.core.schedule import Schedule
+from repro.schedulers.base import get_scheduler
+
+from conftest import task_graphs
+
+
+class TestCanonicalDumps:
+    def test_compact_no_spaces(self):
+        assert wire.dumps({"a": [1, 2], "b": 0.5}) == '{"a":[1,2],"b":0.5}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            wire.dumps({"x": float("nan")})
+
+    def test_insertion_order_preserved(self):
+        # key order is meaningful (digests depend on it); no silent sorting
+        assert wire.dumps({"b": 1, "a": 2}) == '{"b":1,"a":2}'
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_round_trip_exact(self, x):
+        assert wire.loads(wire.dumps(x)) == x
+
+
+class TestGraphRoundTrip:
+    @given(task_graphs())
+    def test_graph_survives_wire(self, g):
+        back = wire.graph_from_wire(wire.graph_to_wire(g))
+        assert back.to_dict() == g.to_dict()
+
+    def test_digest_stable_across_encodes(self, paper_example):
+        w1 = wire.graph_to_wire(paper_example)
+        w2 = wire.graph_to_wire(paper_example)
+        assert wire.graph_digest(w1) == wire.graph_digest(w2)
+
+    def test_digest_differs_on_weight_change(self, paper_example):
+        d1 = wire.graph_digest(wire.graph_to_wire(paper_example))
+        paper_example.add_task(99, 1.0)
+        d2 = wire.graph_digest(wire.graph_to_wire(paper_example))
+        assert d1 != d2
+
+    def test_digest_survives_json_round_trip(self, paper_example):
+        # decode(encode(wire)) must hash identically: the client sends the
+        # wire dict through JSON and the server digests what it receives
+        w = wire.graph_to_wire(paper_example)
+        again = json.loads(json.dumps(w))
+        assert wire.graph_digest(w) == wire.graph_digest(again)
+
+
+class TestScheduleRoundTrip:
+    def test_finish_times_restored_verbatim(self):
+        # a (start, finish) pair where the old rebuild-from-duration path
+        # drifts by one ulp: start + (finish - start) != finish
+        start, finish = 4.454535961765417e-155, 2.353203114389385e-154
+        assert start + (finish - start) != finish
+        back = Schedule.from_dict({"placements": [["t", 0, start, finish]]})
+        assert back["t"].finish == finish
+        again = wire.schedule_from_wire(wire.schedule_to_wire(back))
+        assert again["t"].finish == finish
+
+    @given(task_graphs(min_tasks=2, max_tasks=10))
+    def test_schedule_survives_wire(self, g):
+        s = get_scheduler("HLFET").schedule(g)
+        back = wire.schedule_from_wire(wire.schedule_to_wire(s))
+        assert wire.dumps(wire.schedule_to_wire(back)) == wire.dumps(
+            wire.schedule_to_wire(s)
+        )
+        assert back.makespan == s.makespan
+
+    def test_persistence_uses_wire_forms(self, tmp_path, paper_example):
+        # save/load of suites goes through the same codec as the service
+        from repro.experiments.persistence import load_suite, save_suite
+        from repro.generation.suites import SuiteCell, SuiteGraph
+
+        cell = SuiteCell(band=0, anchor=2, weight_range=(1, 10))
+        path = tmp_path / "suite.json"
+        save_suite([SuiteGraph(cell=cell, index=0, graph=paper_example)], path)
+        (loaded,) = load_suite(path)
+        assert loaded.graph.to_dict() == paper_example.to_dict()
