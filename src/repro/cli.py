@@ -7,17 +7,25 @@ Subcommands::
     repro-sched generate  --band 2 --anchor 3 --wmin 20 --wmax 100 -n 40 -o g.json
     repro-sched experiment --graphs-per-cell 4 [--tables 2,3,4] [--figures 1,2]
     repro-sched workload  fft --param 3 -o fft.json
-    repro-sched stats     <results.json>
-    repro-sched bench     kernels [--quick] [--check]
+    repro-sched stats     <results.json | trace.jsonl>
+    repro-sched bench     kernels|track [--quick] [--check]
     repro-sched serve     [--port 29267 | --socket PATH] [--workers 2]
     repro-sched submit    <graph.json> --heuristic DSC [--json] [--deadline-ms 250]
+    repro-sched top       [--host H --port P | --socket PATH] [--interval 2]
 
 Observability: ``--verbose`` / ``--log-json`` (before the subcommand)
 control structured logging; ``experiment``/``report`` accept
 ``--trace PATH`` to capture a span trace of the whole run (``.jsonl`` for
-line format, anything else for Chrome trace-viewer JSON); ``experiment
---save`` writes a run manifest next to the results, which ``stats``
-inspects.
+line format, anything else for Chrome trace-viewer JSON) — a traced run
+activates a root trace context, so every span (including those recorded
+in suite worker processes) carries one campaign-wide trace id.
+``experiment --save`` writes a run manifest next to the results, which
+``stats`` inspects.  ``--profile`` (or ``REPRO_PROFILE=1``) on
+``experiment``/``serve`` attaches the sampling profiler and writes
+flamegraph-ready collapsed stacks next to the run manifest.  ``top``
+renders a live RED dashboard from a running daemon's ``stats`` verb, and
+``bench track`` maintains the ``BENCH_history.jsonl`` perf-trajectory
+ledger (``--check`` fails on regressions).
 
 Fault tolerance (long campaigns): ``experiment`` accepts ``--on-error
 raise|skip|record``, ``--timeout SECONDS``, ``--retries N``,
@@ -67,10 +75,37 @@ def _trace_run(path: str | None):
     if not parent.is_dir():
         raise SystemExit(f"cannot write trace to {path}: {parent} is not a directory")
     tracer = obs.Tracer(enabled=True)
-    with obs.use_tracer(tracer):
+    # Root context for the whole run: every span recorded anywhere in the
+    # process tree — including suite worker processes and service calls —
+    # is tagged with this one trace id.
+    ctx = obs.new_context()
+    with obs.use_tracer(tracer), obs.use_context(ctx):
         yield
     out = tracer.write(path)
-    print(f"wrote trace ({len(tracer)} events) to {out}", file=sys.stderr)
+    print(
+        f"wrote trace ({len(tracer)} events, trace_id {ctx.trace_id}) to {out}",
+        file=sys.stderr,
+    )
+
+
+@contextmanager
+def _profile_run(enabled: bool, anchor: str | None, default_name: str):
+    """Attach the sampling profiler when ``--profile`` (or REPRO_PROFILE=1)
+    asked for it; collapsed stacks land next to ``anchor`` (the saved
+    results / manifest path) or under ``default_name`` in the cwd."""
+    from .obs.profile import env_enabled, profile_path_for, profile_to
+
+    if not (enabled or env_enabled()):
+        yield
+        return
+    path = profile_path_for(anchor) if anchor else Path(default_name)
+    with profile_to(path) as profiler:
+        yield
+    if profiler is not None:
+        print(
+            f"wrote profile ({profiler.n_samples} samples) to {path}",
+            file=sys.stderr,
+        )
 
 
 def _load_graph(path: str) -> TaskGraph:
@@ -187,7 +222,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "checkpoint": args.checkpoint,
         },
     )
-    with _trace_run(args.trace):
+    with _trace_run(args.trace), _profile_run(
+        args.profile, args.save, "repro_experiment.profile.txt"
+    ):
         if args.load:
             with manifest.phase("load"):
                 results = load_results(args.load)
@@ -283,16 +320,84 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_trace_summary(path: Path) -> int:
+    """``repro stats`` on a ``.jsonl`` trace: a tolerant summary.
+
+    Empty files, truncated tails and junk lines are normal for traces (a
+    killed run stops writing mid-line), so every problem degrades to a
+    clear message and exit 0 — stats inspection must never fail a script.
+    """
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        print(f"cannot read trace {path}: {exc}")
+        return 0
+    events = []
+    skipped = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            skipped += 1  # truncated tail or junk — summarize what parsed
+            continue
+        if isinstance(obj, dict) and "ph" in obj:
+            events.append(obj)
+        else:
+            skipped += 1
+    if not events:
+        print(
+            f"trace {path} contains no events"
+            + (f" ({skipped} unparsable line(s))" if skipped else "")
+            + " — nothing to summarize"
+        )
+        return 0
+    spans = [e for e in events if e.get("ph") == "X"]
+    by_name: dict[str, int] = {}
+    for e in spans:
+        by_name[e["name"]] = by_name.get(e["name"], 0) + 1
+    trace_ids = {
+        e["args"]["trace_id"]
+        for e in events
+        if isinstance(e.get("args"), dict) and "trace_id" in e["args"]
+    }
+    print(f"trace          : {path}")
+    print(f"events         : {len(events)} ({len(spans)} spans)")
+    if skipped:
+        print(f"skipped lines  : {skipped} (truncated or unparsable)")
+    if trace_ids:
+        print(f"trace ids      : {len(trace_ids)}")
+    if by_name:
+        print()
+        width = max(len(n) for n in by_name)
+        for name in sorted(by_name, key=by_name.get, reverse=True)[:20]:
+            print(f"  {name:<{width}s} {by_name[name]:8d}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Print the manifest + metrics recorded alongside a saved run."""
     results_path = Path(args.results)
+    if results_path.suffix == ".jsonl":
+        return _stats_trace_summary(results_path)
     manifest_path = obs.manifest_path_for(results_path)
     if not manifest_path.exists():
-        raise SystemExit(
+        print(
             f"no manifest at {manifest_path} — re-run "
             f"`repro experiment --save {results_path}` to produce one"
         )
-    manifest = obs.RunManifest.load(manifest_path)
+        return 0
+    try:
+        manifest = obs.RunManifest.load(manifest_path)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"manifest at {manifest_path} is unreadable "
+            f"({type(exc).__name__}: {exc}) — likely truncated by a killed "
+            "run; re-run `repro experiment --save` to regenerate it"
+        )
+        return 0
     plat = manifest.platform
     print(f"manifest       : {manifest_path}")
     print(f"created        : {manifest.created}")
@@ -347,6 +452,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run a tracked benchmark; the default action re-pins its baseline."""
+    if args.target == "track":
+        from .experiments.benchtrack import run_track
+
+        return run_track(
+            check=args.check,
+            tolerance_scale=args.tolerance,
+            label=args.label,
+        )
+
     from .experiments.kernelbench import (
         FULL_FLOORS,
         QUICK_FLOORS,
@@ -412,7 +526,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index_cache_size=args.index_cache_size,
         manifest_path=args.manifest,
     )
-    return run_server(server)
+    with _trace_run(args.trace), _profile_run(
+        args.profile, args.manifest, "repro_serve.profile.txt"
+    ):
+        return run_server(server)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -437,7 +554,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"service error: {exc}", file=sys.stderr)
         return 1
     if args.json:
+        # stdout stays byte-identical to `schedule --json` (a tested
+        # contract); client-side pressure goes to stderr as its own JSON
+        # line so load-generating scripts can capture both streams.
         print(wire.dumps(result))
+        from .service.client import client_counters
+
+        print(json.dumps({"client": client_counters()}), file=sys.stderr)
         return 0
     print(f"heuristic      : {result['heuristic']}")
     print(f"tasks          : {graph.n_tasks}")
@@ -447,6 +570,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     speedup = result["serial_time"] / result["makespan"] if result["makespan"] else 0.0
     print(f"speedup        : {speedup:.3f}")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .service.protocol import DEFAULT_PORT
+    from .service.top import run_top
+
+    address: tuple[str, int] | str = args.socket or (
+        args.host,
+        DEFAULT_PORT if args.port is None else args.port,
+    )
+    return run_top(address, interval=args.interval, once=args.once)
 
 
 def _jobs_arg(text: str) -> int:
@@ -580,8 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "target",
-        choices=["kernels"],
-        help="which benchmark to run (kernels: indexed vs dict hot paths)",
+        choices=["kernels", "track"],
+        help="which benchmark action to run (kernels: indexed vs dict hot "
+        "paths; track: record/check the BENCH_history.jsonl perf ledger)",
     )
     p.add_argument(
         "--quick", action="store_true", help="small sizes for smoke runs"
@@ -589,13 +724,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--check",
         action="store_true",
-        help="enforce speedup floors instead of re-pinning the baseline",
+        help="kernels: enforce speedup floors instead of re-pinning the "
+        "baseline; track: fail on regression instead of appending an entry",
     )
     p.add_argument("--graphs-per-cell", type=int, default=None)
     p.add_argument(
         "--out",
         default="benchmarks/out/BENCH_kernels.json",
         help="baseline JSON path to pin (default: %(default)s)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.0,
+        metavar="SCALE",
+        help="track: scale all regression tolerances (default %(default)s; "
+        "raise on noisy machines)",
+    )
+    p.add_argument(
+        "--label",
+        default=None,
+        help="track: label for the recorded ledger entry",
     )
     p.set_defaults(func=_cmd_bench)
 
@@ -653,7 +802,39 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write a run manifest (config + RED metrics) here on drain",
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sampling profiler; collapsed stacks are written "
+        "next to --manifest on drain (also enabled by REPRO_PROFILE=1)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record server-side spans (queue/op/compile, tagged with each "
+        "caller's trace id) and write them here on drain",
+    )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live RED dashboard of a running daemon (polls `stats`)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None, help="TCP port (default 29267)")
+    p.add_argument("--socket", metavar="PATH", help="connect to a Unix socket")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll interval (default %(default)s)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (for scripts and tests)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("submit", help="schedule a graph via a running daemon")
     p.add_argument("graph", help="graph JSON file")
@@ -702,6 +883,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load", help="skip the run; load results JSON from this path")
     p.add_argument(
         "--trace", help="capture a span trace of the run to this path"
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the sampling profiler; collapsed stacks are written "
+        "next to --save (also enabled by REPRO_PROFILE=1)",
     )
     p.add_argument(
         "--on-error",

@@ -44,6 +44,7 @@ from heapq import heapify, heappop, heappush
 from typing import Iterator
 
 from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .exceptions import ScheduleError
 from .schedule import Schedule, _LazySchedule
 from .taskgraph import TaskGraph
@@ -200,6 +201,11 @@ def graph_index(graph: TaskGraph) -> GraphIndex:
     def compute() -> GraphIndex:
         nonlocal hit
         hit = False
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("kernels.compile", cat="kernels", n=graph.n_tasks):
+                with registry.timer("kernels.compile"):
+                    return GraphIndex(graph)
         with registry.timer("kernels.compile"):
             return GraphIndex(graph)
 

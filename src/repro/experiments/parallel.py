@@ -65,6 +65,7 @@ from time import perf_counter
 from ..generation.suites import SuiteGraph
 from ..obs.log import ProgressStats, get_logger
 from ..obs.metrics import MetricsRegistry, get_registry, use_registry
+from ..obs.telemetry import current_context, parse_traceparent, use_context
 from ..obs.trace import Tracer, get_tracer, use_tracer
 from ..schedulers.base import Scheduler, paper_schedulers
 from .faults import FailureRecord, FaultPolicy, WorkerCrashError
@@ -132,21 +133,27 @@ def _run_chunk(
     trace_enabled: bool,
     trace_epoch: float,
     policy: FaultPolicy | None,
+    traceparent: str | None = None,
 ) -> tuple[list, list, dict, list[dict]]:
     """Worker entry: evaluate one chunk against fresh obs sinks.
 
     Returns ``(results, failures, metrics snapshot, trace events)`` —
     results for graphs where at least one heuristic succeeded, failure
-    records for every absorbed ``(graph, heuristic)`` failure.
+    records for every absorbed ``(graph, heuristic)`` failure.  When the
+    parent passes a ``traceparent``, a child context is activated for the
+    chunk so every worker span (graph, schedule, compile) carries the
+    campaign's trace id.
     """
     from .runner import _graph_result_safe
 
     registry = MetricsRegistry()
     tracer = Tracer(enabled=trace_enabled)
     tracer._epoch = trace_epoch  # align worker span timestamps with parent
+    parent_ctx = parse_traceparent(traceparent)
+    ctx = parent_ctx.child() if parent_ctx is not None else None
     results = []
     failures: list[FailureRecord] = []
-    with use_registry(registry), use_tracer(tracer):
+    with use_registry(registry), use_tracer(tracer), use_context(ctx):
         for sg in chunk:
             gr, frs = _graph_result_safe(
                 sg,
@@ -320,7 +327,16 @@ def run_suite_parallel(
         if journal is not None:
             journal.append(None, [fr])
 
-    worker_args = (schedulers, validate, seed, tracer.enabled, tracer._epoch, policy)
+    ctx = current_context()
+    worker_args = (
+        schedulers,
+        validate,
+        seed,
+        tracer.enabled,
+        tracer._epoch,
+        policy,
+        ctx.to_traceparent() if ctx is not None else None,
+    )
 
     # Worst legitimate wall time for one chunk: per-call budget × possible
     # retry × heuristics × graphs, padded.  Only armed when a timeout is

@@ -1,11 +1,19 @@
 """repro.obs — observability for the scheduling testbed.
 
-One cross-cutting layer, four small parts:
+One cross-cutting layer, seven small parts:
 
 * :mod:`repro.obs.trace` — span/event tracer with monotonic timing and
   Chrome-trace / JSONL export (``--trace`` on the CLI);
-* :mod:`repro.obs.metrics` — named counters/timers/histograms with a
-  process-global default registry plus injectable instances for tests;
+* :mod:`repro.obs.telemetry` — W3C-traceparent-style distributed trace
+  context: one trace id follows a request or campaign across client,
+  daemon and suite-worker process boundaries;
+* :mod:`repro.obs.metrics` — named counters/timers/histograms (including
+  fixed-bucket latency histograms with p50/p95/p99) with a process-global
+  default registry plus injectable instances for tests;
+* :mod:`repro.obs.prom` — Prometheus text-format exposition of a metrics
+  snapshot (the service's ``metrics`` verb, ``repro top``);
+* :mod:`repro.obs.profile` — opt-in sampling profiler writing
+  flamegraph-ready collapsed stacks (``--profile`` / ``REPRO_PROFILE``);
 * :mod:`repro.obs.manifest` — run manifests (seed, config, version,
   platform, phase wall times, metrics snapshot) written next to every
   saved results file;
@@ -13,9 +21,11 @@ One cross-cutting layer, four small parts:
   ``log_progress`` suite-progress callback.
 
 The instrumented choke points (``Scheduler.schedule``, ``run_suite``,
-``core.simulator``, several heuristics) emit into the process-global
-tracer/registry; both default to disabled/cheap, so the testbed pays
-near-zero overhead until a CLI flag or a test turns collection on.
+``core.simulator``, the kernel compiler, the service pipeline) emit into
+the process-global tracer/registry; both default to disabled/cheap, so
+the testbed pays near-zero overhead until a CLI flag or a test turns
+collection on.  When a trace context is active, every recorded event is
+tagged with its ``trace_id``/``span_id`` automatically.
 """
 
 from .log import (
@@ -28,12 +38,26 @@ from .log import (
 )
 from .manifest import RunManifest, load_manifest, manifest_path_for
 from .metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    FixedHistogram,
     HistogramStats,
     MetricsRegistry,
     TimerStats,
     get_registry,
     set_registry,
     use_registry,
+)
+from .profile import SamplingProfiler, profile_path_for, profile_to
+from .prom import to_prometheus
+from .telemetry import (
+    TRACEPARENT_KEY,
+    TraceContext,
+    current_context,
+    extract,
+    inject,
+    new_context,
+    parse_traceparent,
+    use_context,
 )
 from .trace import Tracer, complete_event, get_tracer, set_tracer, use_tracer
 
@@ -44,13 +68,30 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    # telemetry
+    "TRACEPARENT_KEY",
+    "TraceContext",
+    "new_context",
+    "parse_traceparent",
+    "current_context",
+    "use_context",
+    "inject",
+    "extract",
     # metrics
     "MetricsRegistry",
     "TimerStats",
     "HistogramStats",
+    "FixedHistogram",
+    "DEFAULT_LATENCY_BOUNDS_MS",
     "get_registry",
     "set_registry",
     "use_registry",
+    # prom
+    "to_prometheus",
+    # profile
+    "SamplingProfiler",
+    "profile_to",
+    "profile_path_for",
     # manifest
     "RunManifest",
     "manifest_path_for",

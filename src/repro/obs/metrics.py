@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import math
 import threading
-from collections.abc import Iterator
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -30,11 +31,20 @@ from time import perf_counter
 __all__ = [
     "TimerStats",
     "HistogramStats",
+    "FixedHistogram",
+    "DEFAULT_LATENCY_BOUNDS_MS",
     "MetricsRegistry",
     "get_registry",
     "set_registry",
     "use_registry",
 ]
+
+#: Default latency bucket upper bounds (milliseconds, ``le`` semantics):
+#: sub-ms to 10 s, roughly log-spaced like Prometheus' classic defaults.
+DEFAULT_LATENCY_BOUNDS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
 
 
 @dataclass
@@ -113,6 +123,124 @@ class HistogramStats:
         }
 
 
+class FixedHistogram:
+    """A histogram over *fixed* bucket boundaries with quantile estimation.
+
+    ``bounds`` are strictly-increasing, finite upper bounds with inclusive
+    (``le``) semantics — bucket ``i`` counts values ``bounds[i-1] < v <=
+    bounds[i]`` and one implicit overflow bucket catches everything above
+    ``bounds[-1]``.  Because the boundaries are identical on every worker,
+    two histograms merge *exactly* (bucket counts add), which is what makes
+    per-shard latency aggregation well-defined — unlike quantiles, which do
+    not compose.
+
+    :meth:`quantile` is the standard bucket-interpolation estimator
+    (Prometheus' ``histogram_quantile``): find the bucket holding the
+    target rank, interpolate linearly inside it, and clamp to the observed
+    ``[min, max]`` — so a single sample reports itself exactly and a
+    population sitting exactly on a boundary reports that boundary.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS_MS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("FixedHistogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must be strictly increasing: {bounds}")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ValueError("bounds must be finite (+inf overflow is implicit)")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= rank:
+                lower = self.bounds[i - 1] if i > 0 else self.min
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                if rank <= cum:  # boundary rank: previous bucket's edge
+                    estimate = lower
+                else:
+                    estimate = lower + (upper - lower) * (rank - cum) / n
+                return min(max(estimate, self.min), self.max)
+            cum += n
+        return self.max  # q == 1.0 or float round-off
+
+    def merge(self, other: "FixedHistogram | dict") -> None:
+        """Fold another histogram (or its :meth:`as_dict`) in — exact, and
+        order-independent, provided the bucket bounds match."""
+        if isinstance(other, dict):
+            folded = FixedHistogram(other["bounds"])
+            folded.counts = list(other["counts"])
+            folded.count = other["count"]
+            folded.total = other["total"]
+            folded.min = other["min"] if other["count"] else math.inf
+            folded.max = other["max"] if other["count"] else -math.inf
+            other = folded
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "p50": self.quantile(0.50) if self.count else 0.0,
+            "p95": self.quantile(0.95) if self.count else 0.0,
+            "p99": self.quantile(0.99) if self.count else 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return f"FixedHistogram({self.count} samples, {len(self.bounds)} buckets)"
+
+
+def _pow2_bucket_key(label: str) -> int | None:
+    """Invert :meth:`HistogramStats.as_dict`'s bucket labels."""
+    if label == "<=0":
+        return None
+    return int(label.removeprefix("<=2^"))
+
+
 class MetricsRegistry:
     """Thread-safe registry of named counters, timers and histograms."""
 
@@ -121,6 +249,7 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._timers: dict[str, TimerStats] = {}
         self._histograms: dict[str, HistogramStats] = {}
+        self._fixed: dict[str, FixedHistogram] = {}
 
     # ------------------------------------------------------------------
     # emission
@@ -147,13 +276,31 @@ class MetricsRegistry:
         finally:
             self.add_timing(name, perf_counter() - start)
 
-    def observe(self, name: str, value: float) -> None:
-        """Record ``value`` into histogram ``name``."""
+    def observe(
+        self, name: str, value: float, *, bounds: Sequence[float] | None = None
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        With ``bounds`` the histogram is a :class:`FixedHistogram` over
+        those (first-declaration-wins) boundaries — quantile-estimable and
+        exactly mergeable across workers; without, the adaptive
+        power-of-two :class:`HistogramStats` is used.
+        """
         with self._lock:
+            fixed = self._fixed.get(name)
+            if fixed is None and bounds is not None:
+                fixed = self._fixed[name] = FixedHistogram(bounds)
+            if fixed is not None:
+                fixed.observe(value)
+                return
             stats = self._histograms.get(name)
             if stats is None:
                 stats = self._histograms[name] = HistogramStats()
             stats.observe(value)
+
+    def fixed_histogram(self, name: str) -> FixedHistogram | None:
+        """The named :class:`FixedHistogram`, or ``None``."""
+        return self._fixed.get(name)
 
     # ------------------------------------------------------------------
     # reading
@@ -171,20 +318,28 @@ class MetricsRegistry:
             return dict(self._counters)
 
     def snapshot(self) -> dict:
-        """JSON-able dump of everything recorded so far."""
+        """JSON-able dump of everything recorded so far.  Fixed histograms
+        are distinguishable by their ``bounds`` key."""
         with self._lock:
+            histograms = {n: h.as_dict() for n, h in self._histograms.items()}
+            histograms.update(
+                (n, h.as_dict()) for n, h in self._fixed.items()
+            )
             return {
                 "counters": dict(self._counters),
                 "timers": {n: t.as_dict() for n, t in self._timers.items()},
-                "histograms": {
-                    n: h.as_dict() for n, h in self._histograms.items()
-                },
+                "histograms": histograms,
             }
 
     def merge(self, snapshot: dict) -> None:
-        """Fold a :meth:`snapshot` dict into this registry (counters and
-        timer count/total only — per-merge min/max/buckets are kept as
-        bounds/approximations)."""
+        """Fold a :meth:`snapshot` dict into this registry.
+
+        Counters, timer count/total and histogram bucket counts add, so the
+        merge of N worker snapshots is order-independent; per-merge timer
+        min/max are kept as bounds.  This is the shared-nothing aggregation
+        the parallel suite runner and (eventually) sharded serving tiers
+        rely on.
+        """
         with self._lock:
             for name, value in snapshot.get("counters", {}).items():
                 self._counters[name] = self._counters.get(name, 0.0) + value
@@ -194,17 +349,36 @@ class MetricsRegistry:
                 stats.total_s += t["total_s"]
                 stats.min_s = min(stats.min_s, t.get("min_s", math.inf))
                 stats.max_s = max(stats.max_s, t.get("max_s", 0.0))
+            for name, h in snapshot.get("histograms", {}).items():
+                if "bounds" in h:
+                    fixed = self._fixed.get(name)
+                    if fixed is None:
+                        fixed = self._fixed[name] = FixedHistogram(h["bounds"])
+                    fixed.merge(h)
+                    continue
+                if not h.get("count"):
+                    continue
+                stats = self._histograms.setdefault(name, HistogramStats())
+                stats.count += h["count"]
+                stats.total += h["total"]
+                stats.min = min(stats.min, h["min"])
+                stats.max = max(stats.max, h["max"])
+                for label, n in h.get("buckets", {}).items():
+                    key = _pow2_bucket_key(label)
+                    stats.buckets[key] = stats.buckets.get(key, 0) + n
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._timers.clear()
             self._histograms.clear()
+            self._fixed.clear()
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry({len(self._counters)} counters, "
-            f"{len(self._timers)} timers, {len(self._histograms)} histograms)"
+            f"{len(self._timers)} timers, "
+            f"{len(self._histograms) + len(self._fixed)} histograms)"
         )
 
 

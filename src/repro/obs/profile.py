@@ -1,0 +1,163 @@
+"""Opt-in sampling profiler: flamegraph-ready collapsed stacks, no deps.
+
+A :class:`SamplingProfiler` wakes on a background thread every
+``interval_s`` and captures the Python stack of every live thread via
+``sys._current_frames()``, folding each into a semicolon-joined *collapsed
+stack* line (``module:func;module:func;... count``) — the input format of
+``flamegraph.pl``, speedscope and ``inferno``.  Statistical, not tracing:
+the instrumented process pays one stack walk per tick instead of a
+per-call hook, so it is safe to attach to the serving daemon or a
+2100-graph campaign (``--profile`` / ``REPRO_PROFILE=1``).
+
+Caveats, stated rather than hidden: samples are wall-clock (a thread
+blocked on I/O or a lock accumulates samples where it blocks — often
+exactly what you want to see in a daemon), the profiler's own thread is
+excluded, and C-extension frames appear as their Python caller.
+
+The output is written next to the artifact it profiles (run manifest or
+serve manifest) as ``*.profile.txt`` by the CLI glue; the file is plain
+text so ``sort | head`` is already an analysis tool.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from time import perf_counter
+
+__all__ = ["SamplingProfiler", "profile_to", "profile_path_for", "env_enabled"]
+
+#: Environment switch: any non-empty value but "0" enables ``--profile``.
+ENV_VAR = "REPRO_PROFILE"
+
+
+def env_enabled() -> bool:
+    """Whether :data:`ENV_VAR` asks for profiling."""
+    return os.environ.get(ENV_VAR, "0") not in ("", "0")
+
+
+def profile_path_for(artifact_path: str | Path) -> Path:
+    """Profile path conventionally paired with an artifact
+    (``res.json`` → ``res.profile.txt``)."""
+    p = Path(artifact_path)
+    return p.with_name(p.stem + ".profile.txt")
+
+
+class SamplingProfiler:
+    """Collect collapsed stacks from all threads at a fixed interval."""
+
+    def __init__(self, interval_s: float = 0.005) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        self.samples: dict[str, int] = {}
+        self.n_ticks = 0
+        self.started_pc = 0.0
+        self.stopped_pc = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self.started_pc = perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.stopped_pc = perf_counter()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        me = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample(me)
+
+    def _sample(self, exclude_ident: int) -> None:
+        frames = sys._current_frames()
+        self.n_ticks += 1
+        for ident, frame in frames.items():
+            if ident == exclude_ident:
+                continue
+            parts: list[str] = []
+            while frame is not None:
+                code = frame.f_code
+                module = code.co_filename.rpartition("/")[2].removesuffix(".py")
+                parts.append(f"{module}:{code.co_name}")
+                frame = frame.f_back
+            if not parts:
+                continue
+            stack = ";".join(reversed(parts))
+            self.samples[stack] = self.samples.get(stack, 0) + 1
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def collapsed(self) -> str:
+        """The collapsed-stack text: ``frame;frame;frame count`` per line,
+        most-sampled stacks first (count-descending, then lexical)."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                self.samples.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the collapsed stacks (with a provenance header comment)."""
+        path = Path(path)
+        wall = (self.stopped_pc or perf_counter()) - self.started_pc
+        header = (
+            f"# repro sampling profile: {self.n_samples} samples over "
+            f"{self.n_ticks} ticks in {wall:.3f}s "
+            f"(interval {self.interval_s * 1e3:.1f}ms, pid {os.getpid()})\n"
+        )
+        body = self.collapsed()
+        path.write_text(header + body + ("\n" if body else ""))
+        return path
+
+
+@contextmanager
+def profile_to(
+    path: str | Path | None, *, interval_s: float = 0.005
+) -> Iterator[SamplingProfiler | None]:
+    """Profile the ``with`` body into ``path``; no-op when ``path`` is
+    falsy, so call sites can pass their ``--profile``-derived path
+    unconditionally."""
+    if not path:
+        yield None
+        return
+    profiler = SamplingProfiler(interval_s=interval_s)
+    with profiler:
+        yield profiler
+    profiler.write(path)

@@ -1,0 +1,99 @@
+"""Prometheus text-format exposition of a metrics snapshot.
+
+:func:`to_prometheus` renders a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` dict in the Prometheus
+text exposition format (version 0.0.4) — the lingua franca of every
+scraper, so the service's ``metrics`` verb and ``repro top`` need no
+bespoke consumer:
+
+* counters → ``<prefix>_<name>_total`` (``counter``);
+* timers → ``_seconds_count`` / ``_seconds_sum`` (a summary without
+  quantiles — Prometheus computes rates from these);
+* fixed-bucket histograms → classic ``histogram`` triplets: cumulative
+  ``_bucket{le="..."}`` lines ending in ``le="+Inf"``, plus ``_sum`` and
+  ``_count``;
+* power-of-two histograms → the same shape, with their ``2^k`` boundaries
+  as the ``le`` values.
+
+Metric names are sanitized to ``[a-zA-Z0-9_:]`` (dots become underscores),
+the repo's ``service.op.schedule`` style mapping to
+``repro_service_op_schedule``.  No labels other than ``le`` are emitted —
+one process, one stream; shard labels belong to the scraper's config.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+__all__ = ["to_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_OK = re.compile(r"^[a-zA-Z_:]")
+
+
+def _metric_name(prefix: str, name: str, suffix: str = "") -> str:
+    base = _NAME_OK.sub("_", f"{prefix}_{name}" if prefix else name)
+    if not _LEADING_OK.match(base):
+        base = "_" + base
+    return base + suffix
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _pow2_bounds(buckets: Mapping[str, int]) -> list[tuple[float, int]]:
+    """(upper bound, count) pairs in increasing-bound order."""
+    pairs = []
+    for label, count in buckets.items():
+        if label == "<=0":
+            pairs.append((0.0, count))
+        else:
+            pairs.append((2.0 ** int(label.removeprefix("<=2^")), count))
+    return sorted(pairs)
+
+
+def _histogram_lines(name: str, h: Mapping[str, Any]) -> list[str]:
+    lines = [f"# TYPE {name} histogram"]
+    if "bounds" in h:  # FixedHistogram: per-bucket counts, +Inf overflow
+        pairs = list(zip(h["bounds"], h["counts"]))
+    else:  # power-of-two HistogramStats
+        pairs = _pow2_bounds(h.get("buckets", {}))
+    cum = 0
+    for bound, count in pairs:
+        cum += count
+        lines.append(f'{name}_bucket{{le="{_format_value(bound)}"}} {cum}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {h["count"]}')
+    lines.append(f"{name}_sum {_format_value(h['total'])}")
+    lines.append(f"{name}_count {h['count']}")
+    return lines
+
+
+def to_prometheus(snapshot: Mapping[str, Any], *, prefix: str = "repro") -> str:
+    """Render a metrics snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(prefix, name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("timers", {})):
+        t = snapshot["timers"][name]
+        metric = _metric_name(prefix, name, "_seconds")
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {t['count']}")
+        lines.append(f"{metric}_sum {_format_value(t['total_s'])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        lines.extend(
+            _histogram_lines(_metric_name(prefix, name), snapshot["histograms"][name])
+        )
+    return "\n".join(lines) + "\n" if lines else ""

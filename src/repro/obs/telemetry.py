@@ -1,0 +1,171 @@
+"""Distributed trace context: W3C-traceparent-style propagation.
+
+A :class:`TraceContext` is the identity of one request (or campaign) as it
+crosses process boundaries: a 128-bit ``trace_id`` shared by every span the
+request touches, plus a 64-bit ``span_id`` naming the hop that carried it.
+The encoding is the W3C Trace Context ``traceparent`` header::
+
+    00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+    ^^ version  ^^^^ trace-id (32 hex)  ^^^^ span-id (16) ^^ flags
+
+chosen so traces exported here can be correlated with any tracing backend
+that speaks the standard, and so the field survives being eyeballed in an
+NDJSON frame.
+
+Propagation model (mirrors ``contextvars``, so it is async- and
+thread-correct within one process):
+
+* :func:`current_context` — the active context, or ``None`` (telemetry off:
+  the default, costing one contextvar read at span-record time);
+* :func:`use_context` / :func:`activate` — install a context for a scope
+  (``with``-based for request handlers, token-based for executor threads);
+* :meth:`TraceContext.child` — same trace, fresh span id: what a client
+  stamps on an outgoing request and a server activates for its handling;
+* :func:`inject` / :func:`extract` — move the context in and out of a JSON
+  envelope under the :data:`TRACEPARENT_KEY` key (the NDJSON service
+  protocol and the suite-runner's worker handoff both use these).
+
+The tracer (:mod:`repro.obs.trace`) tags every recorded event with the
+active context's ids automatically, so *any* instrumented code — scheduler
+spans, ``kernels.compile``, service ops, suite-worker graph spans — joins
+the trace without knowing telemetry exists.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "TRACEPARENT_KEY",
+    "TraceContext",
+    "new_context",
+    "parse_traceparent",
+    "current_context",
+    "activate",
+    "deactivate",
+    "use_context",
+    "inject",
+    "extract",
+]
+
+#: Envelope key carrying the serialized context (request frames, worker args).
+TRACEPARENT_KEY = "traceparent"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of one distributed trace (immutable, hashable)."""
+
+    trace_id: str  # 32 lowercase hex chars, not all-zero
+    span_id: str  # 16 lowercase hex chars, not all-zero
+    flags: int = 1  # bit 0: sampled
+
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` encoding of this context."""
+        return f"00-{self.trace_id}-{self.span_id}-{self.flags:02x}"
+
+    def child(self) -> "TraceContext":
+        """Same trace, fresh span id — the outgoing-request context."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=_hex_id(8), flags=self.flags
+        )
+
+    def __str__(self) -> str:
+        return self.to_traceparent()
+
+
+def _hex_id(n_bytes: int) -> str:
+    """``n_bytes`` of randomness as lowercase hex, never all-zero (the
+    all-zero id is the spec's "invalid" sentinel)."""
+    while True:
+        value = os.urandom(n_bytes).hex()
+        if value.strip("0"):
+            return value
+
+
+def new_context() -> TraceContext:
+    """A fresh root context (new trace id, new span id, sampled)."""
+    return TraceContext(trace_id=_hex_id(16), span_id=_hex_id(8))
+
+
+def parse_traceparent(header: Any) -> TraceContext | None:
+    """Decode a ``traceparent`` string; ``None`` for anything malformed.
+
+    Malformed context is dropped, never raised on: a bad header must not
+    fail the request it rode in on (the W3C-specified behaviour).
+    """
+    if not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if match.group("version") == "ff":  # forbidden version value
+        return None
+    if not trace_id.strip("0") or not span_id.strip("0"):
+        return None
+    return TraceContext(
+        trace_id=trace_id, span_id=span_id, flags=int(match.group("flags"), 16)
+    )
+
+
+#: The active context of this task/thread (None = telemetry off).
+_current: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    """The active :class:`TraceContext`, or ``None``."""
+    return _current.get()
+
+
+def activate(ctx: TraceContext | None):
+    """Install ``ctx`` as the active context; returns a token for
+    :func:`deactivate`.  Token-based (not ``with``-based) so executor
+    threads can bracket work that is not lexically scoped."""
+    return _current.set(ctx)
+
+
+def deactivate(token) -> None:
+    """Restore the context replaced by the matching :func:`activate`."""
+    _current.reset(token)
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Scoped :func:`activate`: the previous context is restored on exit."""
+    token = activate(ctx)
+    try:
+        yield ctx
+    finally:
+        deactivate(token)
+
+
+def inject(obj: dict, ctx: TraceContext | None = None) -> dict:
+    """Stamp ``ctx`` (default: the active context) onto a JSON envelope.
+
+    Mutates and returns ``obj``; a no-op when there is no context, so
+    untelemetered traffic carries no extra bytes.
+    """
+    if ctx is None:
+        ctx = current_context()
+    if ctx is not None:
+        obj[TRACEPARENT_KEY] = ctx.to_traceparent()
+    return obj
+
+
+def extract(obj: Mapping[str, Any]) -> TraceContext | None:
+    """Read a context out of a JSON envelope (``None`` if absent/bad)."""
+    return parse_traceparent(obj.get(TRACEPARENT_KEY))

@@ -33,6 +33,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from time import perf_counter
 
+from .telemetry import current_context
+
 __all__ = [
     "complete_event",
     "Tracer",
@@ -146,6 +148,10 @@ class Tracer:
             ev_args["parent"] = stack[-1]
         if error is not None:
             ev_args["error"] = f"{type(error).__name__}: {error}"
+        ctx = current_context()
+        if ctx is not None:
+            ev_args["trace_id"] = ctx.trace_id
+            ev_args["span_id"] = ctx.span_id
         event = complete_event(
             name,
             ts=(start - self._epoch) * 1e6,
@@ -161,6 +167,11 @@ class Tracer:
         """Record a zero-duration marker event (``ph: "i"``)."""
         if not self.enabled:
             return
+        ctx = current_context()
+        if ctx is not None:
+            args = dict(args)
+            args["trace_id"] = ctx.trace_id
+            args["span_id"] = ctx.span_id
         event = {
             "name": name,
             "cat": cat,

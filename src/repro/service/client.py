@@ -8,6 +8,16 @@ Two clients over the same protocol:
   flight on one connection, correlated by request id.  Used by the load
   generator (:mod:`repro.service.loadgen`).
 
+Both clients participate in distributed tracing: every request is stamped
+with a ``traceparent`` derived from the active :func:`trace context
+<repro.obs.telemetry.current_context>` (child span) or — when the process
+tracer is enabled but no context is active — a fresh root context, so one
+trace id covers the ``client.<op>`` span here and every server-side span
+the request produces.  Client-side pressure is counted in the process
+metrics registry (``client.requests`` / ``client.retries`` /
+``client.backoff_ms`` / ``client.reconnects`` / ``client.unavailable``),
+which is how ``repro submit`` and the load generator report it.
+
 Both retry transport failures (connect refused, connection reset) with
 exponential backoff and then raise :class:`ServiceError` with
 ``status="unavailable"``.  Resending after a transport failure is safe
@@ -32,6 +42,9 @@ from typing import Any
 
 from ..core import wire
 from ..core.taskgraph import TaskGraph
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.telemetry import TraceContext, current_context, new_context, use_context
+from ..obs.trace import get_tracer
 from .protocol import (
     DEFAULT_PORT,
     MAX_FRAME_BYTES,
@@ -42,7 +55,13 @@ from .protocol import (
     encode_request,
 )
 
-__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient", "parse_address"]
+__all__ = [
+    "ServiceError",
+    "ServiceClient",
+    "AsyncServiceClient",
+    "parse_address",
+    "client_counters",
+]
 
 Address = "tuple[str, int] | str"
 
@@ -78,6 +97,31 @@ def _encode_graph(graph: "TaskGraph | Mapping[str, Any]") -> dict:
     if isinstance(graph, TaskGraph):
         return wire.graph_to_wire(graph)
     return dict(graph)
+
+
+def client_counters(registry: "MetricsRegistry | None" = None) -> dict[str, float]:
+    """The ``client.*`` counters of ``registry`` (default: the process
+    registry), keyed without the prefix — e.g. ``{"requests": 12.0,
+    "retries": 1.0}``.  This is what ``repro submit`` prints to stderr and
+    what the load generator folds into its summary."""
+    reg = registry if registry is not None else get_registry()
+    return {
+        name.removeprefix("client."): value
+        for name, value in reg.counters().items()
+        if name.startswith("client.")
+    }
+
+
+def _request_context() -> "TraceContext | None":
+    """The outgoing-request context: a child of the active context, or a
+    fresh root when the process tracer is recording, else ``None`` (no
+    telemetry → no extra wire bytes)."""
+    parent = current_context()
+    if parent is not None:
+        return parent.child()
+    if get_tracer().enabled:
+        return new_context()
+    return None
 
 
 def _result_or_raise(response: Mapping[str, Any]) -> Any:
@@ -157,9 +201,12 @@ class ServiceClient(_OpsMixin):
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
+        self._ever_connected = False
 
     # -- connection management ----------------------------------------
     def _connect(self) -> None:
+        if self._ever_connected:
+            get_registry().inc("client.reconnects")
         if isinstance(self.address, tuple):
             sock = socket.create_connection(self.address, timeout=self.timeout)
         else:
@@ -170,6 +217,7 @@ class ServiceClient(_OpsMixin):
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._file = sock.makefile("rwb")
+        self._ever_connected = True
 
     def close(self) -> None:
         """Close the connection (reopened transparently on next call)."""
@@ -202,9 +250,16 @@ class ServiceClient(_OpsMixin):
     ) -> Any:
         """Send one request and return its ``result``; raises
         :class:`ServiceError` on an error response or transport failure."""
+        registry = get_registry()
+        registry.inc("client.requests")
+        ctx = _request_context()
         self._next_id += 1
         frame = encode_request(
-            op, params, id=self._next_id, deadline_ms=deadline_ms
+            op,
+            params,
+            id=self._next_id,
+            deadline_ms=deadline_ms,
+            traceparent=ctx.to_traceparent() if ctx is not None else None,
         )
         if len(frame) > self.max_frame_bytes:
             raise ServiceError(
@@ -213,10 +268,17 @@ class ServiceClient(_OpsMixin):
                 f"request frame of {len(frame)} bytes exceeds the "
                 f"{self.max_frame_bytes}-byte limit",
             )
+        with use_context(ctx), get_tracer().span(f"client.{op}", cat="client"):
+            return self._transact(frame, registry)
+
+    def _transact(self, frame: bytes, registry: "MetricsRegistry") -> Any:
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                delay = self.backoff * (2 ** (attempt - 1))
+                registry.inc("client.retries")
+                registry.inc("client.backoff_ms", delay * 1e3)
+                time.sleep(delay)
             try:
                 if self._file is None:
                     self._connect()
@@ -233,6 +295,7 @@ class ServiceClient(_OpsMixin):
             except (OSError, ConnectionError, EOFError) as exc:
                 self.close()
                 last_error = exc
+        registry.inc("client.unavailable")
         raise ServiceError(
             UNAVAILABLE,
             "unavailable",
@@ -297,6 +360,11 @@ class ServiceClient(_OpsMixin):
     def stats(self) -> dict:
         return self.call("stats")
 
+    def metrics(self) -> dict:
+        """The daemon's metrics exposition: ``{"content_type": ...,
+        "text": <Prometheus 0.0.4 text>}``."""
+        return self.call("metrics")
+
 
 class AsyncServiceClient(_OpsMixin):
     """Pipelined asyncio client: many in-flight requests on one connection,
@@ -327,6 +395,7 @@ class AsyncServiceClient(_OpsMixin):
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._conn_lock = asyncio.Lock()
+        self._ever_connected = False
 
     @classmethod
     async def connect(cls, address: "Address", **kwargs: Any) -> "AsyncServiceClient":
@@ -343,10 +412,16 @@ class AsyncServiceClient(_OpsMixin):
             await self._connect_locked()
 
     async def _connect_locked(self) -> None:
+        registry = get_registry()
+        if self._ever_connected:
+            registry.inc("client.reconnects")
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
+                delay = self.backoff * (2 ** (attempt - 1))
+                registry.inc("client.retries")
+                registry.inc("client.backoff_ms", delay * 1e3)
+                await asyncio.sleep(delay)
             try:
                 if isinstance(self.address, tuple):
                     reader, writer = await asyncio.open_connection(
@@ -357,12 +432,14 @@ class AsyncServiceClient(_OpsMixin):
                         self.address, limit=self.max_frame_bytes
                     )
                 self._reader, self._writer = reader, writer
+                self._ever_connected = True
                 self._reader_task = asyncio.get_running_loop().create_task(
                     self._read_loop()
                 )
                 return
             except OSError as exc:
                 last_error = exc
+        registry.inc("client.unavailable")
         raise ServiceError(
             UNAVAILABLE,
             "unavailable",
@@ -423,9 +500,18 @@ class AsyncServiceClient(_OpsMixin):
     ) -> Any:
         await self._ensure_connected()
         assert self._writer is not None
+        registry = get_registry()
+        registry.inc("client.requests")
+        ctx = _request_context()
         self._next_id += 1
         req_id = self._next_id
-        frame = encode_request(op, params, id=req_id, deadline_ms=deadline_ms)
+        frame = encode_request(
+            op,
+            params,
+            id=req_id,
+            deadline_ms=deadline_ms,
+            traceparent=ctx.to_traceparent() if ctx is not None else None,
+        )
         if len(frame) > self.max_frame_bytes:
             raise ServiceError(
                 TOO_LARGE,
@@ -435,15 +521,16 @@ class AsyncServiceClient(_OpsMixin):
             )
         fut: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = fut
-        try:
-            self._writer.write(frame)
-            await self._writer.drain()
-        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
-            self._pending.pop(req_id, None)
-            raise ServiceError(
-                UNAVAILABLE, "unavailable", f"send failed: {exc}"
-            ) from None
-        response = await fut
+        with use_context(ctx), get_tracer().span(f"client.{op}", cat="client"):
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+                self._pending.pop(req_id, None)
+                raise ServiceError(
+                    UNAVAILABLE, "unavailable", f"send failed: {exc}"
+                ) from None
+            response = await fut
         return _result_or_raise(response)
 
     # -- convenience ops ----------------------------------------------
@@ -500,3 +587,8 @@ class AsyncServiceClient(_OpsMixin):
 
     async def stats(self) -> dict:
         return await self.call("stats")
+
+    async def metrics(self) -> dict:
+        """The daemon's metrics exposition: ``{"content_type": ...,
+        "text": <Prometheus 0.0.4 text>}``."""
+        return await self.call("metrics")

@@ -18,7 +18,8 @@ The request mix is adversarial on purpose:
   tight-deadline requests, so the error paths stay on the measured path.
 
 Results are raw per-request records plus a summary (throughput, p50/p99,
-status counts) shaped for ``benchmarks/bench_service.py``.
+status counts, and the SDK's ``client.*`` pressure counters — retries,
+backoff time, reconnects) shaped for ``benchmarks/bench_service.py``.
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ import numpy as np
 from ..core import wire
 from ..generation.random_dag import generate_pdg
 from ..generation.workloads import chain, fork_join, gaussian_elimination
-from .client import AsyncServiceClient, ServiceError
+from .client import AsyncServiceClient, ServiceError, client_counters
 from .protocol import DEFAULT_PORT
 
 __all__ = ["LoadMix", "LoadResult", "build_mix", "run_open_loop", "summarize"]
@@ -61,6 +62,9 @@ class LoadResult:
     records: list[dict] = field(default_factory=list)
     offered: int = 0
     duration_s: float = 0.0
+    #: This run's delta of the SDK's ``client.*`` counters (retries,
+    #: backoff_ms, reconnects, unavailable, ...).
+    client: dict[str, float] = field(default_factory=dict)
 
 
 def build_mix(
@@ -192,6 +196,7 @@ async def run_open_loop(
     rng = random.Random(seed)
     clients = [AsyncServiceClient(address) for _ in range(n_connections)]
     result = LoadResult()
+    counters_before = client_counters()
     tasks: list[asyncio.Task] = []
     loop = asyncio.get_running_loop()
     start = loop.time()
@@ -214,6 +219,13 @@ async def run_open_loop(
         for client in clients:
             await client.close()
     result.duration_s = loop.time() - start
+    # Delta, not totals: the process registry may have served earlier runs.
+    after = client_counters()
+    result.client = {
+        name: round(after[name] - counters_before.get(name, 0.0), 6)
+        for name in sorted(after)
+        if after[name] - counters_before.get(name, 0.0)
+    }
     return result
 
 
@@ -244,4 +256,5 @@ def summarize(result: LoadResult) -> dict[str, Any]:
             "max": latencies[-1] if latencies else 0.0,
         },
         "statuses": dict(sorted(statuses.items())),
+        "client": dict(result.client),
     }

@@ -19,8 +19,16 @@ runner's per-call ``--timeout`` (PR 3): overruns are reported, never
 silently served late.
 
 Ops: ``schedule``, ``classify``, ``simulate``, ``batch`` (queued, batched,
-deadline-checked) and ``health``, ``stats`` (answered inline, never queued,
-so they stay responsive under overload).
+deadline-checked) and ``health``, ``stats``, ``metrics`` (answered inline,
+never queued, so they stay responsive under overload).
+
+Frames may carry a W3C-style ``traceparent`` string
+(``00-<32 hex>-<16 hex>-<2 hex>``, see :mod:`repro.obs.telemetry`); the
+server adopts it as the parent trace context for every span the request
+produces, which is what stitches client, admission, batch and compile
+spans into one trace id across the process boundary.  Malformed values
+are dropped at decode rather than rejected — tracing is advisory and must
+never fail a request.
 
 Response frame::
 
@@ -46,6 +54,7 @@ from typing import Any
 
 from ..core import wire
 from ..core.metrics import anchor_out_degree, granularity, node_weight_range
+from ..obs.telemetry import TRACEPARENT_KEY, parse_traceparent
 from ..core.schedule import Schedule
 from ..core.taskgraph import TaskGraph
 
@@ -83,7 +92,7 @@ MAX_FRAME_BYTES = 1 << 20
 QUEUED_OPS = frozenset({"schedule", "classify", "simulate", "batch"})
 
 #: Ops answered directly on the connection handler, never queued.
-INLINE_OPS = frozenset({"health", "stats"})
+INLINE_OPS = frozenset({"health", "stats", "metrics"})
 
 # Error codes (HTTP-flavoured).
 INVALID = 400
@@ -121,6 +130,8 @@ class Request:
     op: str
     params: dict
     deadline_ms: float | None = None
+    #: Validated ``traceparent`` header carried by the frame (or ``None``).
+    traceparent: str | None = None
 
 
 def decode_request(line: bytes | str) -> Request:
@@ -148,7 +159,16 @@ def decode_request(line: bytes | str) -> Request:
             raise ProtocolError("deadline_ms must be a number")
         if deadline_ms <= 0:
             raise ProtocolError("deadline_ms must be > 0")
-    return Request(id=req_id, op=op, params=params, deadline_ms=deadline_ms)
+    # Tracing is advisory: a malformed traceparent is dropped, not a 400.
+    traceparent = obj.get(TRACEPARENT_KEY)
+    ctx = parse_traceparent(traceparent) if isinstance(traceparent, str) else None
+    return Request(
+        id=req_id,
+        op=op,
+        params=params,
+        deadline_ms=deadline_ms,
+        traceparent=ctx.to_traceparent() if ctx is not None else None,
+    )
 
 
 def encode_request(
@@ -157,11 +177,14 @@ def encode_request(
     *,
     id: int | str | None = None,
     deadline_ms: float | None = None,
+    traceparent: str | None = None,
 ) -> bytes:
     """One request frame, newline-terminated."""
     obj: dict[str, Any] = {"id": id, "op": op, "params": dict(params or {})}
     if deadline_ms is not None:
         obj["deadline_ms"] = deadline_ms
+    if traceparent is not None:
+        obj[TRACEPARENT_KEY] = traceparent
     return wire.dumps(obj).encode("utf-8") + b"\n"
 
 

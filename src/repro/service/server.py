@@ -32,9 +32,15 @@ request pipeline, in order:
    same call through the library API.
 
 Observability: every queued request gets RED metrics (``service.requests``
-rate, ``service.errors``, ``service.latency_ms`` histogram, per-op
-``service.op.*`` timers) and — when the process tracer is enabled — one
-``service.<op>`` span, all through the :mod:`repro.obs` registries.
+rate, ``service.errors``, a fixed-bucket ``service.latency_ms`` histogram
+with p50/p95/p99, per-op ``service.op.*`` timers) and — when the process
+tracer is enabled — ``service.queue`` and ``service.<op>`` spans, all
+through the :mod:`repro.obs` registries.  The ``metrics`` inline op
+exposes the registry in Prometheus text format.  A request frame's
+``traceparent`` is adopted as the parent trace context: admission markers,
+queue/op spans and everything recorded under the executor (index compile,
+scheduler spans) carry the caller's trace id, so one distributed trace
+stitches client and server.
 
 Graceful drain: on SIGTERM/SIGINT (or :meth:`ReproServer.begin_drain`) the
 listeners close, queued-but-unstarted requests are rejected with
@@ -64,7 +70,16 @@ from ..core.simulator import simulate_ordered
 from ..core.taskgraph import TaskGraph
 from ..obs.log import get_logger
 from ..obs.manifest import RunManifest
-from ..obs.metrics import get_registry
+from ..obs.metrics import DEFAULT_LATENCY_BOUNDS_MS, get_registry
+from ..obs.prom import to_prometheus
+from ..obs.telemetry import (
+    TraceContext,
+    activate,
+    current_context,
+    deactivate,
+    parse_traceparent,
+    use_context,
+)
 from ..obs.trace import get_tracer
 from ..schedulers.base import get_scheduler
 from .protocol import (
@@ -388,6 +403,9 @@ class ReproServer:
         if request.op == "stats":
             await self._send(conn, ok_response(request.id, self._stats()))
             return
+        if request.op == "metrics":
+            await self._send(conn, ok_response(request.id, self._metrics()))
+            return
 
         error = self._admit(conn, request)
         if error is not None:
@@ -447,6 +465,20 @@ class ReproServer:
         )
         self._queue.put_nowait(item)
         registry.inc("service.requests")
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Admission marker, tagged with the caller's trace id (the
+            # caller's own span id: admission happens *before* the server's
+            # handling span exists).  An untraced caller keeps the server's
+            # ambient context instead of clearing it.
+            remote = parse_traceparent(request.traceparent)
+            with use_context(remote if remote is not None else current_context()):
+                tracer.instant(
+                    "service.admit",
+                    cat="service",
+                    op=request.op,
+                    queue_depth=self._queue.qsize(),
+                )
         return None
 
     # ------------------------------------------------------------------
@@ -505,55 +537,93 @@ class ReproServer:
     async def _run_item(self, item: _Item) -> None:
         loop = asyncio.get_running_loop()
         registry = get_registry()
-        request = item.request
-        code: int | None = None
-        message = ""
-        result: Any = None
-        if item.deadline is not None and loop.time() >= item.deadline:
-            queued_ms = (perf_counter() - item.arrival_pc) * 1e3
-            code, message = DEADLINE, (
-                f"deadline exceeded before execution (queued {queued_ms:.1f} ms)"
-            )
-        else:
-            try:
-                with registry.timer(f"service.op.{request.op}"):
-                    result = await loop.run_in_executor(
-                        self._executor, self._run_queued_op, request
-                    )
-            except ProtocolError as exc:
-                code, message = exc.code, str(exc)
-            except ReproError as exc:
-                code, message = INVALID, str(exc)
-            except Exception as exc:  # noqa: BLE001 - daemon must not die
-                self._log.exception("internal error in op %s", request.op)
-                code, message = INTERNAL, f"{type(exc).__name__}: {exc}"
-            if code is None and item.deadline is not None and loop.time() > item.deadline:
-                code, message = DEADLINE, (
-                    "deadline exceeded during execution; result discarded"
-                )
-        if code == DEADLINE:
-            registry.inc("service.deadline_misses")
-        if code is None:
-            response = ok_response(request.id, result)
-        else:
-            registry.inc("service.errors")
-            response = error_response(request.id, code, message)
-        duration = perf_counter() - item.arrival_pc
-        registry.observe("service.latency_ms", duration * 1e3)
         tracer = get_tracer()
-        if tracer.enabled:
-            tracer.add_span(
-                f"service.{request.op}",
-                item.arrival_pc,
-                duration,
-                cat="service",
-                args={"op": request.op, "code": code if code is not None else 200},
+        request = item.request
+        # Adopt the caller's trace: the server's handling is a child span of
+        # the hop that carried the request.  An untraced caller falls back
+        # to the daemon's own ambient context (serve --trace) so executor
+        # threads — which contextvars do not reach — still tag their spans.
+        # Token-scoped so the context is confined to this item even though
+        # _run_group serializes items on one task.
+        remote = parse_traceparent(request.traceparent)
+        ctx = remote.child() if remote is not None else current_context()
+        token = activate(ctx) if ctx is not None else None
+        try:
+            exec_start = perf_counter()
+            if tracer.enabled:
+                tracer.add_span(
+                    "service.queue",
+                    item.arrival_pc,
+                    exec_start - item.arrival_pc,
+                    cat="service",
+                    args={"op": request.op},
+                )
+            code: int | None = None
+            message = ""
+            result: Any = None
+            if item.deadline is not None and loop.time() >= item.deadline:
+                queued_ms = (perf_counter() - item.arrival_pc) * 1e3
+                code, message = DEADLINE, (
+                    f"deadline exceeded before execution (queued {queued_ms:.1f} ms)"
+                )
+            else:
+                try:
+                    with registry.timer(f"service.op.{request.op}"):
+                        result = await loop.run_in_executor(
+                            self._executor, self._run_queued_op_in_ctx, ctx, request
+                        )
+                except ProtocolError as exc:
+                    code, message = exc.code, str(exc)
+                except ReproError as exc:
+                    code, message = INVALID, str(exc)
+                except Exception as exc:  # noqa: BLE001 - daemon must not die
+                    self._log.exception("internal error in op %s", request.op)
+                    code, message = INTERNAL, f"{type(exc).__name__}: {exc}"
+                if code is None and item.deadline is not None and loop.time() > item.deadline:
+                    code, message = DEADLINE, (
+                        "deadline exceeded during execution; result discarded"
+                    )
+            if code == DEADLINE:
+                registry.inc("service.deadline_misses")
+            if code is None:
+                response = ok_response(request.id, result)
+            else:
+                registry.inc("service.errors")
+                response = error_response(request.id, code, message)
+            duration = perf_counter() - item.arrival_pc
+            registry.observe(
+                "service.latency_ms", duration * 1e3, bounds=DEFAULT_LATENCY_BOUNDS_MS
             )
+            if tracer.enabled:
+                tracer.add_span(
+                    f"service.{request.op}",
+                    item.arrival_pc,
+                    duration,
+                    cat="service",
+                    args={"op": request.op, "code": code if code is not None else 200},
+                )
+        finally:
+            if token is not None:
+                deactivate(token)
         await self._send(item.conn, response)
 
     # ------------------------------------------------------------------
     # op handlers (worker threads; plain library calls)
     # ------------------------------------------------------------------
+    def _run_queued_op_in_ctx(
+        self, ctx: "TraceContext | None", request: Request
+    ) -> Any:
+        """Executor-thread entry: ``run_in_executor`` does not propagate
+        contextvars, so the trace context is re-activated here — that is
+        what tags kernel-compile and scheduler spans with the trace id."""
+        if ctx is None:
+            return self._run_queued_op(request)
+        token = activate(ctx)
+        try:
+            return self._run_queued_op(request)
+        finally:
+            deactivate(token)
+
     def _run_queued_op(self, request: Request) -> Any:
         if request.op == "batch":
             return self._op_batch(request.params)
@@ -677,6 +747,14 @@ class ReproServer:
                 k: v for k, v in snap["timers"].items() if k.startswith("service.op.")
             },
             "latency_ms": snap["histograms"].get("service.latency_ms"),
+        }
+
+    def _metrics(self) -> dict:
+        """The ``metrics`` inline op: the full registry in Prometheus text
+        exposition format (version 0.0.4), ready for any scraper."""
+        return {
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+            "text": to_prometheus(get_registry().snapshot()),
         }
 
     # ------------------------------------------------------------------

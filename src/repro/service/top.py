@@ -1,0 +1,132 @@
+"""``repro top`` — a refreshing RED dashboard for the scheduling daemon.
+
+Polls the daemon's ``stats`` verb at a fixed interval and renders Rate /
+Errors / Duration plus the queue and cache gauges that explain them:
+
+* **rate** — requests and errors per second, differenced between polls
+  (the counters themselves are monotonic);
+* **duration** — p50/p95/p99 from the server's fixed-bucket
+  ``service.latency_ms`` histogram;
+* **pressure** — queue depth vs capacity, in-flight groups, shed and
+  deadline-miss counts, batch-group occupancy, index-cache hit rate.
+
+:func:`render` is a pure function of two ``stats`` payloads (current and
+previous) so the layout is unit-testable without a daemon; :func:`run_top`
+owns the terminal loop (ANSI home-and-clear between frames, plain
+append-only output when not a TTY, ``--once`` for scripts).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Mapping
+
+from .client import ServiceClient, ServiceError
+
+__all__ = ["render", "run_top"]
+
+
+def _rate(cur: Mapping, prev: "Mapping | None", key: str, interval: float | None):
+    """Per-second rate of a monotonic counter between two polls."""
+    if prev is None or not interval or interval <= 0:
+        return None
+    now = cur.get("counters", {}).get(key, 0.0)
+    before = prev.get("counters", {}).get(key, 0.0)
+    return max(0.0, (now - before) / interval)
+
+
+def _fmt_rate(value: "float | None") -> str:
+    return f"{value:7.1f}/s" if value is not None else "      n/a"
+
+
+def _bar(frac: float, width: int = 20) -> str:
+    frac = min(1.0, max(0.0, frac))
+    filled = round(frac * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render(
+    stats: Mapping[str, Any],
+    prev: "Mapping[str, Any] | None" = None,
+    interval: "float | None" = None,
+) -> str:
+    """One dashboard frame from a ``stats`` payload (pure; no I/O)."""
+    counters = stats.get("counters", {})
+    requests = counters.get("service.requests", 0.0)
+    errors = counters.get("service.errors", 0.0)
+    shed = counters.get("service.shed", 0.0)
+    deadline = counters.get("service.deadline_misses", 0.0)
+    err_pct = (errors / requests * 100.0) if requests else 0.0
+
+    depth = stats.get("queue_depth", 0)
+    capacity = max(1, stats.get("queue_capacity", 1))
+    cache = stats.get("index_cache", {})
+    hits = counters.get("service.index_cache.hits", 0.0)
+    misses = counters.get("service.index_cache.misses", 0.0)
+    lookups = hits + misses
+    hit_pct = (hits / lookups * 100.0) if lookups else 0.0
+    groups = counters.get("service.batch.groups", 0.0)
+    grouped = counters.get("service.batch.grouped_requests", 0.0)
+    occupancy = (grouped / groups) if groups else 0.0
+
+    lat = stats.get("latency_ms") or {}
+    p50, p95, p99 = (lat.get(q) for q in ("p50", "p95", "p99"))
+
+    def _ms(v: "float | None") -> str:
+        return f"{v:8.2f}" if isinstance(v, (int, float)) else "     n/a"
+
+    lines = [
+        f"repro service  up {stats.get('uptime_s', 0.0):.0f}s"
+        + ("  [DRAINING]" if stats.get("draining") else ""),
+        (
+            f"rate     req {_fmt_rate(_rate(stats, prev, 'service.requests', interval))}"
+            f"   err {_fmt_rate(_rate(stats, prev, 'service.errors', interval))}"
+            f"   totals: {requests:.0f} req, {errors:.0f} err ({err_pct:.1f}%)"
+        ),
+        (
+            f"latency  p50 {_ms(p50)} ms   p95 {_ms(p95)} ms   p99 {_ms(p99)} ms"
+            f"   (n={lat.get('count', 0)})"
+        ),
+        (
+            f"queue    [{_bar(depth / capacity)}] {depth}/{capacity}"
+            f"   inflight {stats.get('inflight_groups', 0)}"
+            f"   shed {shed:.0f}   deadline {deadline:.0f}"
+        ),
+        (
+            f"batch    occupancy {occupancy:.2f} req/group ({groups:.0f} groups)"
+            f"   cache {hit_pct:.1f}% hit"
+            f" ({cache.get('size', 0)}/{cache.get('capacity', 0)} resident)"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def run_top(
+    address: Any,
+    *,
+    interval: float = 2.0,
+    once: bool = False,
+    timeout: float = 5.0,
+    stream: Any = None,
+) -> int:
+    """Poll ``stats`` and redraw until interrupted (or once)."""
+    out = stream if stream is not None else sys.stdout
+    clear = "\x1b[H\x1b[2J" if (once is False and out.isatty()) else ""
+    prev: "Mapping[str, Any] | None" = None
+    with ServiceClient(address, timeout=timeout) as client:
+        while True:
+            try:
+                stats = client.stats()
+            except ServiceError as exc:
+                print(f"repro top: {exc}", file=sys.stderr)
+                return 1
+            frame = render(stats, prev, interval if prev is not None else None)
+            print(f"{clear}{frame}", file=out, flush=True)
+            if once:
+                return 0
+            prev = stats
+            try:
+                time.sleep(interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                return 0

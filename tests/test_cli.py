@@ -240,11 +240,41 @@ class TestObservability:
         assert "dsc.edge_zeroings" in out
         assert "simulator.events" in out
 
-    def test_stats_without_manifest_exits_with_hint(self, tmp_path):
+    def test_stats_without_manifest_degrades_with_hint(self, tmp_path, capsys):
         orphan = tmp_path / "res.json"
         orphan.write_text("{}")
-        with pytest.raises(SystemExit, match="manifest"):
-            main(["stats", str(orphan)])
+        assert main(["stats", str(orphan)]) == 0
+        out = capsys.readouterr().out
+        assert "no manifest" in out
+        assert "repro experiment --save" in out
+
+    def test_stats_truncated_manifest_degrades(self, tmp_path, capsys):
+        results = tmp_path / "res.json"
+        results.write_text("{}")
+        manifest_path = tmp_path / "res.manifest.json"
+        manifest_path.write_text('{"created": "2026-')  # killed mid-write
+        assert main(["stats", str(results)]) == 0
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_stats_empty_trace_degrades(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text("")
+        assert main(["stats", str(trace)]) == 0
+        assert "no events" in capsys.readouterr().out
+
+    def test_stats_truncated_trace_summarizes_parsable_prefix(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        trace.write_text(
+            '{"name": "schedule.DSC", "ph": "X", "ts": 0, "dur": 5}\n'
+            '{"name": "schedule.MCP", "ph": "X", "ts": 9, "du'  # truncated
+        )
+        assert main(["stats", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "schedule.DSC" in out
+        assert "1 spans" in out
+        assert "skipped" in out
 
 
 class TestVersionAndUsage:
