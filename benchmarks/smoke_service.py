@@ -58,7 +58,7 @@ def check(cond: bool, message: str) -> None:
         sys.exit(1)
 
 
-def start_daemon(sock_path: str, manifest_path: str, *, workers: int) -> subprocess.Popen:
+def start_daemon(sock_path: str, manifest_path: str, *, threads: int) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
     proc = subprocess.Popen(
@@ -69,8 +69,8 @@ def start_daemon(sock_path: str, manifest_path: str, *, workers: int) -> subproc
             "serve",
             "--socket",
             sock_path,
-            "--workers",
-            str(workers),
+            "--threads",
+            str(threads),
             "--manifest",
             manifest_path,
         ],
@@ -226,7 +226,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         sock_path = str(Path(tmp) / "repro.sock")
         manifest_path = str(Path(tmp) / "serve_manifest.json")
-        proc = start_daemon(sock_path, manifest_path, workers=2)
+        proc = start_daemon(sock_path, manifest_path, threads=2)
         try:
             scenario_mixed_load(sock_path)
             scenario_byte_identity(sock_path)

@@ -63,7 +63,7 @@ def start_daemon(sock_path: str, trace_path: str) -> subprocess.Popen:
             "serve",
             "--socket",
             sock_path,
-            "--workers",
+            "--threads",
             "2",
             "--trace",
             trace_path,

@@ -516,13 +516,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.protocol import DEFAULT_PORT
     from .service.server import ReproServer, run_server
 
+    port = DEFAULT_PORT if args.port is None else args.port
+    if args.workers > 1:
+        # Sharded tier: router + N shared-nothing worker processes, routed
+        # by graph digest.  Each worker gets the full per-process knobs, so
+        # total queue capacity is workers * queue_size.
+        from .service.shard import run_sharded
+
+        with _trace_run(args.trace), _profile_run(
+            args.profile, args.manifest, "repro_serve.profile.txt"
+        ):
+            return run_sharded(
+                workers=args.workers,
+                host=args.host,
+                port=port,
+                socket_path=args.socket,
+                worker_config={
+                    "queue_size": args.queue_size,
+                    "batch_max": args.batch_max,
+                    "threads": args.threads,
+                    "index_cache_size": args.index_cache_size,
+                },
+                manifest_path=args.manifest,
+            )
     server = ReproServer(
         host=args.host,
-        port=DEFAULT_PORT if args.port is None else args.port,
+        port=port,
         socket_path=args.socket,
         queue_size=args.queue_size,
         batch_max=args.batch_max,
-        workers=args.workers,
+        threads=args.threads,
         index_cache_size=args.index_cache_size,
         manifest_path=args.manifest,
     )
@@ -761,9 +784,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1", help="bind address (default %(default)s)")
     p.add_argument(
         "--port",
+        "--router-port",
         type=int,
         default=None,
-        help="TCP port (default 29267; 0 picks a free port)",
+        help="TCP port (default 29267; 0 picks a free port); with "
+        "--workers N>=2 this is the router's front-door port",
     )
     p.add_argument(
         "--socket", metavar="PATH", help="serve on a Unix socket instead of TCP"
@@ -788,7 +813,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=_jobs_arg,
         default=1,
         metavar="N",
-        help="executor threads running scheduler code (default 1)",
+        help="worker *processes*: 1 (default) runs the single-process "
+        "daemon unchanged; N>=2 runs a router that shards requests across "
+        "N shared-nothing workers by graph digest (consistent hashing)",
+    )
+    p.add_argument(
+        "--threads",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="executor threads running scheduler code, per worker "
+        "(default 1)",
     )
     p.add_argument(
         "--index-cache-size",

@@ -87,6 +87,12 @@ TRACKED: tuple[TrackedMetric, ...] = (
     TrackedMetric(
         "BENCH_service.json", "batching/index_cache_misses", "lower", abs_tol=4.0
     ),
+    # Sharded-tier throughput is the most machine-sensitive number tracked
+    # (it multiplies the service band by process-scheduling noise) → the
+    # widest relative band.
+    TrackedMetric(
+        "BENCH_service.json", "sharded/throughput_rps", "higher", rel_tol=0.40
+    ),
     # Overhead is in percentage points and clamps at 0 — the band is the
     # tier-1 bound itself (5 points), purely absolute.
     TrackedMetric(

@@ -350,8 +350,31 @@ def run_suite_parallel(
     pool = ProcessPoolExecutor(max_workers=jobs)
     pending: dict = {}
     try:
-        for chunk in chunks:
-            pending[pool.submit(_run_chunk, chunk, *worker_args)] = chunk
+        for i, chunk in enumerate(chunks):
+            try:
+                pending[pool.submit(_run_chunk, chunk, *worker_args)] = chunk
+            except BrokenExecutor as exc:
+                # A worker can die (os._exit, OOM kill) while the parent is
+                # still submitting; submit() then raises directly, outside
+                # the future.result() handling below.
+                if not isolating:
+                    raise WorkerCrashError(
+                        "a worker process died while the suite was being "
+                        f"dispatched (chunk of {len(chunk)} graph(s) lost)"
+                    ) from exc
+                log.warning(
+                    "worker pool broke during dispatch (%s); isolating "
+                    "%d unsubmitted chunk(s)",
+                    type(exc).__name__,
+                    len(chunks) - i,
+                )
+                leftovers = [
+                    sg
+                    for c in [*pending.values(), *chunks[i:]]
+                    for sg in c
+                ]
+                pending.clear()
+                break
         while pending:
             done, _ = wait(pending.keys(), timeout=watchdog, return_when=FIRST_COMPLETED)
             if not done:

@@ -14,7 +14,11 @@ per process.  This package keeps one warm process serving many callers:
   retry/backoff and connection reuse (``repro submit``);
 * :mod:`repro.service.loadgen` — an open-loop load generator with an
   adversarial graph mix, for ``benchmarks/bench_service.py`` and the CI
-  smoke job.
+  smoke job;
+* :mod:`repro.service.ring` / :mod:`repro.service.shard` — the sharded
+  tier (``repro serve --workers N``): a router process fanning requests to
+  N shared-nothing worker processes by consistent hashing on the graph
+  digest, with merged health/stats/metrics and rolling shard restarts.
 
 Invariant: the service is a *transport*.  Every op resolves to the same
 library calls a direct import would make, over graphs decoded by the shared
@@ -25,7 +29,9 @@ service is byte-identical to the library's — asserted per-heuristic in
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
 from .protocol import DEFAULT_PORT, ProtocolError
+from .ring import HashRing
 from .server import ReproServer, ServerThread, run_server
+from .shard import ReproRouter, ShardedTier, ShardSupervisor, run_sharded
 
 __all__ = [
     "AsyncServiceClient",
@@ -36,4 +42,9 @@ __all__ = [
     "ReproServer",
     "ServerThread",
     "run_server",
+    "HashRing",
+    "ReproRouter",
+    "ShardSupervisor",
+    "ShardedTier",
+    "run_sharded",
 ]

@@ -15,7 +15,9 @@ tracer is enabled but no context is active — a fresh root context, so one
 trace id covers the ``client.<op>`` span here and every server-side span
 the request produces.  Client-side pressure is counted in the process
 metrics registry (``client.requests`` / ``client.retries`` /
-``client.backoff_ms`` / ``client.reconnects`` / ``client.unavailable``),
+``client.backoff_ms`` / ``client.reconnects`` / ``client.unavailable``,
+plus ``client.shard_retries`` / ``client.reroutes`` when a sharded router
+reports it had to retry or reroute the request around a shard restart),
 which is how ``repro submit`` and the load generator report it.
 
 Both retry transport failures (connect refused, connection reset) with
@@ -125,6 +127,19 @@ def _request_context() -> "TraceContext | None":
 
 
 def _result_or_raise(response: Mapping[str, Any]) -> Any:
+    # The sharded router annotates responses it had to retry or reroute
+    # (shard drain/restart windows) with a "routing" envelope field.  Count
+    # it as client-side pressure — these are the `client.*` counters that
+    # `repro submit --json` prints to stderr and the load generator folds
+    # into its summary — before the result/error is surfaced.
+    routing = response.get("routing")
+    if isinstance(routing, Mapping):
+        registry = get_registry()
+        retries = routing.get("retries", 0)
+        if isinstance(retries, (int, float)) and retries > 0:
+            registry.inc("client.shard_retries", float(retries))
+        if routing.get("rerouted"):
+            registry.inc("client.reroutes")
     if response.get("ok"):
         return response.get("result")
     err = response.get("error") or {}

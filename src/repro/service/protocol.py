@@ -19,8 +19,13 @@ runner's per-call ``--timeout`` (PR 3): overruns are reported, never
 silently served late.
 
 Ops: ``schedule``, ``classify``, ``simulate``, ``batch`` (queued, batched,
-deadline-checked) and ``health``, ``stats``, ``metrics`` (answered inline,
-never queued, so they stay responsive under overload).
+deadline-checked) and ``health``, ``stats``, ``metrics``, ``control``
+(answered inline, never queued, so they stay responsive under overload).
+``control`` is only meaningful against the sharded router
+(:mod:`repro.service.shard` — rolling shard restarts); the single-process
+daemon rejects it with 400.  ``stats`` accepts ``{"full": true}`` to also
+return the complete metrics-registry snapshot, which is how the router
+merges worker registries exactly.
 
 Frames may carry a W3C-style ``traceparent`` string
 (``00-<32 hex>-<16 hex>-<2 hex>``, see :mod:`repro.obs.telemetry`); the
@@ -92,7 +97,7 @@ MAX_FRAME_BYTES = 1 << 20
 QUEUED_OPS = frozenset({"schedule", "classify", "simulate", "batch"})
 
 #: Ops answered directly on the connection handler, never queued.
-INLINE_OPS = frozenset({"health", "stats", "metrics"})
+INLINE_OPS = frozenset({"health", "stats", "metrics", "control"})
 
 # Error codes (HTTP-flavoured).
 INVALID = 400

@@ -1,0 +1,84 @@
+"""Consistent hashing for digest-affinity routing.
+
+The sharded tier (:mod:`repro.service.shard`) routes every graph-carrying
+request by its graph digest so one shard owns each hot graph: that shard's
+LRU index cache stays warm and its micro-batcher keeps grouping same-digest
+bursts, exactly as in the single-process daemon.  Plain modulo hashing
+would reshuffle *every* digest when the shard count changes; a consistent
+hash ring moves only the keys adjacent to the inserted/removed points.
+
+Classic construction (Karger et al.): each shard contributes ``vnodes``
+pseudo-random points on a ring of 64-bit hash values; a key is owned by the
+first shard point at or clockwise-after the key's own hash.  Properties the
+tests pin down:
+
+* **deterministic** — points come from ``blake2b("shard:<id>:<replica>")``,
+  so every process (router, tests, tomorrow's second router) computes the
+  identical assignment with no coordination;
+* **stable under resize** — adding a shard only moves keys *to* the new
+  shard; removing one only moves *its* keys, everyone else's stay put;
+* **balanced** — with the default 64 vnodes/shard the keyspace split is
+  even to within a few tens of percent, plenty for cache affinity (perfect
+  balance is not the goal; stability is).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable
+from hashlib import blake2b
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard.  64 keeps the max/min keyspace-share ratio
+#: under ~2 for small shard counts while the ring stays tiny (N*64 points).
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """A 64-bit ring position for ``label`` (deterministic across runs and
+    processes — unlike ``hash()``, which is salted)."""
+    return int.from_bytes(blake2b(label.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: Iterable[int], *, vnodes: int = DEFAULT_VNODES) -> None:
+        shard_list = sorted(set(shards))
+        if not shard_list:
+            raise ValueError("a HashRing needs at least one shard")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = tuple(shard_list)
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in shard_list:
+            for replica in range(vnodes):
+                points.append((_point(f"shard:{shard}:{replica}"), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key`` (first point clockwise from its hash)."""
+        idx = bisect_right(self._hashes, _point(key)) % len(self._points)
+        return self._points[idx][1]
+
+    def fallback_for(self, key: str, exclude: int) -> int:
+        """The next *distinct* shard clockwise from ``key`` — the reroute
+        target when ``exclude`` (the owner) is being replaced.  Falls back
+        to ``exclude`` itself on a single-shard ring."""
+        start = bisect_right(self._hashes, _point(key))
+        n = len(self._points)
+        for step in range(n):
+            shard = self._points[(start + step) % n][1]
+            if shard != exclude:
+                return shard
+        return exclude
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(shards={self.shards}, vnodes={self.vnodes})"

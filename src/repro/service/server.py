@@ -52,8 +52,10 @@ the process exits 0.  Zero in-flight requests are dropped.
 from __future__ import annotations
 
 import asyncio
+import errno
 import os
 import signal
+import socket as socket_module
 import sys
 import threading
 from collections import OrderedDict
@@ -102,7 +104,14 @@ from .protocol import (
     simulate_result,
 )
 
-__all__ = ["ReproServer", "ServerThread", "run_server"]
+__all__ = [
+    "ReproServer",
+    "ServerThread",
+    "run_server",
+    "BIND_ERRNOS",
+    "format_bind_error",
+    "guard_unix_socket_path",
+]
 
 #: Queue sentinel telling the dispatcher to exit after the drain flush.
 _STOP = object()
@@ -192,7 +201,7 @@ class ReproServer:
         socket_path: str | None = None,
         queue_size: int = 128,
         batch_max: int = 16,
-        workers: int = 1,
+        threads: int = 1,
         index_cache_size: int = 64,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         manifest_path: str | None = None,
@@ -201,14 +210,14 @@ class ReproServer:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         if batch_max < 1:
             raise ValueError(f"batch_max must be >= 1, got {batch_max}")
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
         self.host = host
         self.port = port
         self.socket_path = socket_path
         self.queue_size = queue_size
         self.batch_max = batch_max
-        self.workers = workers
+        self.threads = threads
         self.max_frame_bytes = max_frame_bytes
         self.manifest_path = manifest_path
         self._cache = _GraphCache(index_cache_size)
@@ -231,11 +240,12 @@ class ReproServer:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the listener and start the dispatcher."""
-        self._sem = asyncio.Semaphore(self.workers)
+        self._sem = asyncio.Semaphore(self.threads)
         self._executor = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-service"
+            max_workers=self.threads, thread_name_prefix="repro-service"
         )
         if self.socket_path is not None:
+            guard_unix_socket_path(self.socket_path)
             srv = await asyncio.start_unix_server(
                 self._handle_conn, path=self.socket_path, limit=self.max_frame_bytes
             )
@@ -264,6 +274,13 @@ class ReproServer:
         if isinstance(addr, str):
             return f"unix:{addr}"
         return f"{addr[0]}:{addr[1]}"
+
+    @property
+    def requested_endpoint(self) -> str:
+        """The *configured* address, printable before binding succeeds."""
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
 
     def begin_drain(self) -> None:
         """Start a graceful drain (idempotent; also the SIGTERM handler)."""
@@ -330,7 +347,7 @@ class ReproServer:
                 "endpoint": self.endpoint,
                 "queue_size": self.queue_size,
                 "batch_max": self.batch_max,
-                "workers": self.workers,
+                "threads": self.threads,
                 "index_cache": self._cache.stats(),
                 "uptime_s": round(perf_counter() - self._started_pc, 3),
                 "requests": registry.counter("service.requests"),
@@ -401,10 +418,22 @@ class ReproServer:
             await self._send(conn, ok_response(request.id, self._health()))
             return
         if request.op == "stats":
-            await self._send(conn, ok_response(request.id, self._stats()))
+            full = bool(request.params.get("full"))
+            await self._send(conn, ok_response(request.id, self._stats(full=full)))
             return
         if request.op == "metrics":
             await self._send(conn, ok_response(request.id, self._metrics()))
+            return
+        if request.op == "control":
+            registry.inc("service.errors")
+            await self._send(
+                conn,
+                error_response(
+                    request.id,
+                    INVALID,
+                    "control requires the sharded router (`repro serve --workers N`)",
+                ),
+            )
             return
 
         error = self._admit(conn, request)
@@ -729,9 +758,13 @@ class ReproServer:
             "pid": os.getpid(),
         }
 
-    def _stats(self) -> dict:
+    def _stats(self, *, full: bool = False) -> dict:
+        """The ``stats`` inline op.  With ``{"full": true}`` the payload also
+        carries the complete registry snapshot — that is what the sharded
+        router merges across workers (``MetricsRegistry.merge`` is exact for
+        counters, timers and fixed-bucket histograms)."""
         snap = get_registry().snapshot()
-        return {
+        payload = {
             "uptime_s": round(perf_counter() - self._started_pc, 3),
             "draining": self._draining,
             "queue_depth": self._queue.qsize(),
@@ -748,6 +781,9 @@ class ReproServer:
             },
             "latency_ms": snap["histograms"].get("service.latency_ms"),
         }
+        if full:
+            payload["registry"] = snap
+        return payload
 
     def _metrics(self) -> dict:
         """The ``metrics`` inline op: the full registry in Prometheus text
@@ -772,16 +808,71 @@ class ReproServer:
             get_registry().inc("service.responses.dropped")
 
 
-def run_server(server: ReproServer, *, handle_signals: bool = True) -> int:
-    """Run ``server`` until a graceful drain completes; returns 0.
+#: Bind failures worth a readable one-liner instead of a traceback: port (or
+#: Unix socket path) taken, address not local, privileged port.
+BIND_ERRNOS = (errno.EADDRINUSE, errno.EADDRNOTAVAIL, errno.EACCES)
+
+
+def guard_unix_socket_path(path: str) -> None:
+    """Refuse to bind a Unix socket path that a live daemon is serving.
+
+    ``asyncio.start_unix_server`` unlinks an existing socket file
+    *unconditionally* before binding, so without this probe a second
+    ``repro serve --socket PATH`` silently steals the endpoint out from
+    under the running daemon (which keeps serving an unlinked inode that
+    no new client can reach).  Probe with a connect: anything accepting
+    means EADDRINUSE; a stale leftover (connection refused) is left for
+    asyncio's unlink-and-bind to clean up.
+    """
+    if not os.path.exists(path):
+        return
+    probe = socket_module.socket(socket_module.AF_UNIX)
+    try:
+        probe.settimeout(0.25)
+        probe.connect(path)
+    except OSError:
+        return  # stale socket file (or not a socket): asyncio handles it
+    finally:
+        probe.close()
+    raise OSError(errno.EADDRINUSE, "Address already in use", path)
+
+
+def format_bind_error(endpoint: str, exc: OSError) -> str:
+    """The operator-facing message for a failed listen (exit code 2)."""
+    reason = exc.strerror or str(exc)
+    hint = (
+        " (is another daemon already running there?)"
+        if exc.errno == errno.EADDRINUSE
+        else ""
+    )
+    return f"repro serve: cannot listen on {endpoint}: {reason}{hint}"
+
+
+def run_server(
+    server: ReproServer, *, handle_signals: bool = True, banner: bool = True
+) -> int:
+    """Run ``server`` until a graceful drain completes; returns 0, or 2 when
+    the requested address cannot be bound (already in use, not local,
+    privileged) — a readable one-liner instead of an asyncio traceback.
 
     Installs SIGTERM/SIGINT handlers that begin the drain, so a supervisor's
     ``kill -TERM`` finishes in-flight work, writes the manifest, and exits
-    cleanly.
+    cleanly.  ``banner=False`` suppresses the stderr listening line (used by
+    the sharded tier's worker processes, where the router owns the banner).
     """
 
-    async def _main() -> None:
-        await server.start()
+    async def _main() -> int:
+        try:
+            await server.start()
+        except OSError as exc:
+            if exc.errno in BIND_ERRNOS:
+                print(
+                    format_bind_error(server.requested_endpoint, exc),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 2
+            raise
         if handle_signals:
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGTERM, signal.SIGINT):
@@ -789,11 +880,16 @@ def run_server(server: ReproServer, *, handle_signals: bool = True) -> int:
                     loop.add_signal_handler(sig, server.begin_drain)
                 except NotImplementedError:  # pragma: no cover - non-POSIX
                     pass
-        print(f"repro service listening on {server.endpoint}", file=sys.stderr, flush=True)
+        if banner:
+            print(
+                f"repro service listening on {server.endpoint}",
+                file=sys.stderr,
+                flush=True,
+            )
         await server.wait_drained()
+        return 0
 
-    asyncio.run(_main())
-    return 0
+    return asyncio.run(_main())
 
 
 class ServerThread:

@@ -1,0 +1,925 @@
+"""Sharded serving tier: a router process fronting N worker processes.
+
+The single-process daemon (:mod:`repro.service.server`) tops out around the
+GIL: one interpreter decodes, schedules and encodes every request.  This
+module scales it out without changing its semantics:
+
+* **Workers** are plain :class:`~repro.service.server.ReproServer` event
+  loops, one per *process* (``multiprocessing`` spawn), each listening on a
+  private Unix socket.  They are shared-nothing: separate queues, caches,
+  metrics registries, GILs.  SIGTERM still means "drain gracefully" — the
+  supervisor restarts a shard by sending exactly that signal.
+* **The router** (:class:`ReproRouter`) is an asyncio front door speaking
+  the same NDJSON protocol.  Queued ops are forwarded to a shard chosen by
+  **consistent hashing on the graph digest** (:mod:`repro.service.ring`),
+  so a hot graph always lands on the same shard — its LRU index cache and
+  micro-batcher stay warm for its slice of the keyspace.  Responses pass
+  through the canonical wire codec (:mod:`repro.core.wire` preserves key
+  order and float text), so a result routed through the tier is
+  byte-identical to one from the worker — and to the library.
+* **Merged observability**: ``health``/``stats``/``metrics`` fan out to all
+  shards and come back as one view.  Worker registries are combined with
+  :meth:`repro.obs.metrics.MetricsRegistry.merge` — exact for counters and
+  for the fixed-bucket latency histograms (identical bounds → bucket counts
+  add), so the merged p50/p95/p99 are what one big registry would have
+  shown.  ``metrics`` renders the merged registry (plus the router's own
+  ``router.*`` counters) in Prometheus text.  The per-frame ``traceparent``
+  is re-activated around each router→worker hop, so one trace id stitches
+  client → router → shard.
+* **Rolling restarts**: the inline ``control`` op
+  (``{"action": "restart", "shard": k}`` — omit ``shard`` for all, one at a
+  time) SIGTERMs a worker, waits for its graceful drain, and respawns it.
+  Requests that hit the draining/vanished shard are retried with backoff on
+  the same shard (covering the respawn window) and finally **rerouted** to
+  the next shard on the ring — shared-nothing workers give the identical
+  answer, just from a cold cache.  Retried/rerouted responses carry a
+  ``routing`` envelope field which the client SDKs fold into the
+  ``client.shard_retries``/``client.reroutes`` pressure counters.
+
+``repro serve --workers N`` (N >= 2) runs this tier; ``--workers 1`` keeps
+the original single-process daemon byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import multiprocessing
+import os
+import shutil
+import signal
+import socket as socket_module
+import sys
+import tempfile
+import threading
+import time
+from collections.abc import Mapping
+from time import perf_counter
+from typing import Any
+
+from ..core import wire
+from ..obs.log import get_logger
+from ..obs.manifest import RunManifest
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.prom import to_prometheus
+from ..obs.telemetry import current_context, parse_traceparent, use_context
+from .client import AsyncServiceClient, ServiceError
+from .protocol import (
+    DEFAULT_PORT,
+    INTERNAL,
+    INVALID,
+    MAX_FRAME_BYTES,
+    SHED,
+    TOO_LARGE,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_response,
+    error_response,
+    ok_response,
+)
+from .ring import DEFAULT_VNODES, HashRing
+from .server import (
+    BIND_ERRNOS,
+    _Conn,
+    ReproServer,
+    format_bind_error,
+    guard_unix_socket_path,
+    run_server,
+)
+
+__all__ = [
+    "ShardSupervisor",
+    "ReproRouter",
+    "ShardedTier",
+    "run_sharded",
+]
+
+#: Statuses worth retrying on another attempt/shard: the worker said "not
+#: now" (draining) or could not be reached at all (restart window).  Shed,
+#: invalid and deadline responses are real answers and pass through.
+RETRIABLE_STATUSES = frozenset({"draining", "unavailable"})
+
+
+def _worker_main(socket_path: str, config: dict) -> None:
+    """Spawned-process entry: one ordinary daemon on a private Unix socket.
+
+    ``run_server`` installs the usual SIGTERM/SIGINT handlers, so the
+    supervisor's ``terminate()`` triggers the exact graceful drain the
+    single-process deployment gets (in-flight completes, queued rejected
+    503 "draining", exit 0).
+    """
+    server = ReproServer(socket_path=socket_path, **config)
+    raise SystemExit(run_server(server, banner=False))
+
+
+class ShardSupervisor:
+    """Owns the N worker processes: spawn, readiness, crash respawn,
+    rolling restart, shutdown.
+
+    Workers listen on ``<runtime_dir>/shard-<k>.sock``; readiness is "the
+    socket accepts a connection".  A monitor thread respawns shards that
+    die unexpectedly (counted as ``router.shard_respawns``); intentional
+    restarts go through :meth:`restart`, which drains via SIGTERM first.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        worker_config: "Mapping[str, Any] | None" = None,
+        runtime_dir: str | None = None,
+        respawn: bool = True,
+        spawn_timeout: float = 60.0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.worker_config = dict(worker_config or {})
+        self._own_dir = runtime_dir is None
+        self.runtime_dir = runtime_dir or tempfile.mkdtemp(prefix="repro-shards-")
+        self.respawn = respawn
+        self.spawn_timeout = spawn_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: "list[multiprocessing.process.BaseProcess | None]" = [
+            None
+        ] * n_shards
+        self._lock = threading.Lock()
+        self._restarting: set[int] = set()
+        self._stopping = False
+        self._monitor: threading.Thread | None = None
+        self._log = get_logger("service.shard")
+        #: completed rolling restarts (`control` op) / crash respawns.
+        self.restarts = 0
+        self.respawns = 0
+
+    def socket_path(self, shard: int) -> str:
+        return os.path.join(self.runtime_dir, f"shard-{shard}.sock")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardSupervisor":
+        """Spawn every worker (concurrently) and wait until all accept."""
+        for shard in range(self.n_shards):
+            self._spawn(shard)
+        for shard in range(self.n_shards):
+            self._wait_ready(shard)
+        if self.respawn:
+            self._monitor = threading.Thread(
+                target=self._watch, name="repro-shard-monitor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def _spawn(self, shard: int) -> None:
+        path = self.socket_path(shard)
+        with contextlib.suppress(OSError):
+            os.unlink(path)  # stale socket from a previous incarnation
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(path, self.worker_config),
+            name=f"repro-shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[shard] = proc
+
+    def _wait_ready(self, shard: int) -> None:
+        path = self.socket_path(shard)
+        deadline = time.monotonic() + self.spawn_timeout
+        while time.monotonic() < deadline:
+            proc = self._procs[shard]
+            if proc is not None and not proc.is_alive():
+                raise RuntimeError(
+                    f"shard {shard} exited with code {proc.exitcode} during startup"
+                )
+            try:
+                probe = socket_module.socket(
+                    socket_module.AF_UNIX, socket_module.SOCK_STREAM
+                )
+                probe.settimeout(1.0)
+                probe.connect(path)
+                probe.close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError(f"shard {shard} not accepting within {self.spawn_timeout}s")
+
+    def restart(self, shard: int, *, drain_timeout: float = 30.0) -> None:
+        """Rolling restart of one shard: SIGTERM (graceful drain), join,
+        respawn, wait ready.  Blocking — call off the event loop."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"no shard {shard} (have 0..{self.n_shards - 1})")
+        with self._lock:
+            if self._stopping:
+                return
+            self._restarting.add(shard)
+        try:
+            proc = self._procs[shard]
+            if proc is not None and proc.is_alive():
+                proc.terminate()  # SIGTERM → worker drains and exits 0
+                proc.join(drain_timeout)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    self._log.warning("shard %d ignored SIGTERM; killing", shard)
+                    proc.kill()
+                    proc.join(5.0)
+            self._spawn(shard)
+            self._wait_ready(shard)
+            self.restarts += 1
+            self._log.info("shard %d restarted", shard)
+        finally:
+            with self._lock:
+                self._restarting.discard(shard)
+
+    def _watch(self) -> None:
+        """Monitor thread: respawn shards that died without being asked."""
+        while True:
+            time.sleep(0.25)
+            with self._lock:
+                if self._stopping:
+                    return
+                restarting = set(self._restarting)
+            for shard in range(self.n_shards):
+                if shard in restarting:
+                    continue
+                proc = self._procs[shard]
+                if proc is None or proc.is_alive():
+                    continue
+                with self._lock:
+                    if self._stopping or shard in self._restarting:
+                        continue
+                self._log.warning(
+                    "shard %d died (exit %s); respawning", shard, proc.exitcode
+                )
+                try:
+                    self._spawn(shard)
+                    self._wait_ready(shard)
+                    self.respawns += 1
+                    get_registry().inc("router.shard_respawns")
+                except Exception:  # noqa: BLE001 - monitor must survive
+                    self._log.exception("respawn of shard %d failed", shard)
+
+    def stop(self, *, drain_timeout: float = 30.0) -> None:
+        """SIGTERM every worker, wait for their graceful drains, clean up."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(drain_timeout)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    proc.kill()
+                    proc.join(5.0)
+        if self._monitor is not None:
+            self._monitor.join(5.0)
+        if self._own_dir:
+            shutil.rmtree(self.runtime_dir, ignore_errors=True)
+
+
+class ReproRouter:
+    """The NDJSON front door of the sharded tier.
+
+    Listens on TCP or a Unix socket (same flags as the daemon), keeps one
+    pipelined :class:`AsyncServiceClient` per shard, and handles every
+    frame on its own task so a slow shard never blocks the connection.
+    See the module docstring for routing, retry and merge semantics.
+    """
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        socket_path: str | None = None,
+        vnodes: int = DEFAULT_VNODES,
+        shard_retries: int = 6,
+        shard_backoff: float = 0.1,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        manifest_path: str | None = None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.ring = HashRing(range(supervisor.n_shards), vnodes=vnodes)
+        self.shard_retries = shard_retries
+        self.shard_backoff = shard_backoff
+        self.max_frame_bytes = max_frame_bytes
+        self.manifest_path = manifest_path
+        self._log = get_logger("service.router")
+        self._clients: list[AsyncServiceClient] = []
+        self._conns: set[_Conn] = set()
+        self._frame_tasks: set[asyncio.Task] = set()
+        self._servers: list[asyncio.base_events.Server] = []
+        self._rr = 0  # round-robin cursor for digestless ops
+        self._draining = False
+        self._drain_started = False
+        self._done = asyncio.Event()
+        self._started_pc = 0.0
+        self._address: "tuple[str, int] | str | None" = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and open one pipelined client per shard (the
+        clients connect lazily, so binding can precede worker spawn)."""
+        self._clients = [
+            AsyncServiceClient(
+                self.supervisor.socket_path(shard), retries=2, backoff=0.05
+            )
+            for shard in range(self.supervisor.n_shards)
+        ]
+        if self.socket_path is not None:
+            guard_unix_socket_path(self.socket_path)
+            srv = await asyncio.start_unix_server(
+                self._handle_conn, path=self.socket_path, limit=self.max_frame_bytes
+            )
+            self._address = self.socket_path
+        else:
+            srv = await asyncio.start_server(
+                self._handle_conn, self.host, self.port, limit=self.max_frame_bytes
+            )
+            self._address = srv.sockets[0].getsockname()[:2]
+        self._servers = [srv]
+        self._started_pc = perf_counter()
+        self._log.info(
+            "routing on %s across %d shards", self.endpoint, len(self._clients)
+        )
+
+    @property
+    def address(self) -> "tuple[str, int] | str":
+        if self._address is None:
+            raise RuntimeError("router not started")
+        return self._address
+
+    @property
+    def endpoint(self) -> str:
+        addr = self.address
+        if isinstance(addr, str):
+            return f"unix:{addr}"
+        return f"{addr[0]}:{addr[1]}"
+
+    @property
+    def requested_endpoint(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    def begin_drain(self) -> None:
+        """Graceful drain (idempotent; the SIGTERM handler): stop accepting,
+        finish in-flight forwards, then drain the workers themselves."""
+        if self._drain_started:
+            return
+        self._drain_started = True
+        self._draining = True
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def wait_drained(self) -> None:
+        await self._done.wait()
+
+    async def _drain(self) -> None:
+        self._log.info("drain: closing listener, finishing in-flight forwards")
+        for srv in self._servers:
+            srv.close()
+        # In-flight frames complete first — their workers are still up.  New
+        # queued ops arriving on open connections get 503 "draining".  A few
+        # rounds, since a frame task may spawn while we gather.
+        for _ in range(10):
+            tasks = [t for t in self._frame_tasks if not t.done()]
+            if not tasks:
+                break
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for client in self._clients:
+            await client.close()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.supervisor.stop)
+        if self.manifest_path:
+            path = self._write_manifest()
+            self._log.info("drain: wrote run manifest to %s", path)
+        for srv in self._servers:
+            await srv.wait_closed()
+        for conn in list(self._conns):
+            conn.writer.close()
+        self._log.info("drain complete")
+        self._done.set()
+
+    def _write_manifest(self) -> str:
+        registry = get_registry()
+        manifest = RunManifest.collect(
+            config={
+                "command": "serve",
+                "mode": "router",
+                "endpoint": self.endpoint,
+                "workers": self.supervisor.n_shards,
+                "worker_config": self.supervisor.worker_config,
+                "restarts": self.supervisor.restarts,
+                "respawns": self.supervisor.respawns,
+                "uptime_s": round(perf_counter() - self._started_pc, 3),
+                "requests": registry.counter("router.requests"),
+                "errors": registry.counter("router.errors"),
+                "shard_retries": registry.counter("router.shard_retries"),
+                "reroutes": registry.counter("router.reroutes"),
+            }
+        )
+        manifest.attach_metrics(registry)
+        return str(manifest.write(self.manifest_path))
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    get_registry().inc("router.errors")
+                    await self._send(
+                        conn,
+                        error_response(
+                            None,
+                            TOO_LARGE,
+                            f"frame exceeds {self.max_frame_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                # One task per frame: pipelined requests to different shards
+                # proceed concurrently; _Conn.lock serializes the writes.
+                task = loop.create_task(self._handle_frame(conn, line))
+                self._frame_tasks.add(task)
+                task.add_done_callback(self._frame_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conns.discard(conn)
+            writer.close()
+
+    async def _handle_frame(self, conn: _Conn, line: bytes) -> None:
+        registry = get_registry()
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            req_id = None
+            try:
+                obj = wire.loads(line)
+                if isinstance(obj, dict) and isinstance(obj.get("id"), (int, str)):
+                    req_id = obj["id"]
+            except ValueError:
+                pass
+            registry.inc("router.errors")
+            await self._send(conn, error_response(req_id, exc.code, str(exc)))
+            return
+        registry.inc("router.requests")
+        try:
+            if request.op == "health":
+                response = ok_response(request.id, await self._merged_health())
+            elif request.op == "stats":
+                response = ok_response(request.id, await self._merged_stats())
+            elif request.op == "metrics":
+                response = ok_response(request.id, await self._merged_metrics())
+            elif request.op == "control":
+                response = await self._control(request)
+            else:
+                response = await self._forward(request)
+        except Exception as exc:  # noqa: BLE001 - the router must not die
+            self._log.exception("internal error routing op %s", request.op)
+            registry.inc("router.errors")
+            response = error_response(
+                request.id, INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        await self._send(conn, response)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, request: Request) -> "tuple[int, str | None]":
+        """``(shard, digest)`` for a queued op.  Graph-carrying ops (and
+        batches, by their first sub-request's graph) ride the ring; anything
+        without a usable digest round-robins.  Invalid graphs are *not*
+        rejected here — the worker owns validation, so error text stays
+        identical to the single-process daemon's."""
+        digest: str | None = None
+        graph: Any = None
+        if request.op in ("schedule", "classify", "simulate"):
+            graph = request.params.get("graph")
+        elif request.op == "batch":
+            subs = request.params.get("requests")
+            if isinstance(subs, list) and subs and isinstance(subs[0], dict):
+                params = subs[0].get("params")
+                if isinstance(params, dict):
+                    graph = params.get("graph")
+        if isinstance(graph, dict):
+            with contextlib.suppress(ValueError):
+                digest = wire.graph_digest(graph)
+        if digest is not None:
+            return self.ring.shard_for(digest), digest
+        self._rr += 1
+        return self._rr % len(self._clients), None
+
+    async def _forward(self, request: Request) -> dict:
+        registry = get_registry()
+        if self._draining:
+            registry.inc("router.errors")
+            return error_response(
+                request.id, SHED, "router draining", status="draining"
+            )
+        loop = asyncio.get_running_loop()
+        target, digest = self._route(request)
+        deadline = (
+            loop.time() + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
+        # Re-activate the caller's context around the hop so the per-shard
+        # client stamps a child traceparent: one trace id stitches
+        # client → router → shard.  Untraced callers keep the router's own
+        # ambient context (serve --trace).
+        remote = parse_traceparent(request.traceparent)
+        ctx = remote if remote is not None else current_context()
+        retries = 0  # attempts burned on the current target
+        total_retries = 0
+        rerouted = False
+        while True:
+            try:
+                with use_context(ctx):
+                    result = await self._clients[target].call(
+                        request.op, request.params, deadline_ms=request.deadline_ms
+                    )
+                response = ok_response(request.id, result)
+                break
+            except ServiceError as exc:
+                expired = deadline is not None and loop.time() >= deadline
+                if (
+                    exc.status in RETRIABLE_STATUSES
+                    and not expired
+                    and not self._draining
+                ):
+                    if retries < self.shard_retries:
+                        retries += 1
+                        total_retries += 1
+                        registry.inc("router.shard_retries")
+                        await asyncio.sleep(self.shard_backoff * (2 ** (retries - 1)))
+                        continue
+                    if not rerouted and len(self._clients) > 1:
+                        fallback = (
+                            self.ring.fallback_for(digest, target)
+                            if digest is not None
+                            else (target + 1) % len(self._clients)
+                        )
+                        if fallback != target:
+                            rerouted = True
+                            retries = 0
+                            target = fallback
+                            registry.inc("router.reroutes")
+                            continue
+                registry.inc("router.errors")
+                response = error_response(
+                    request.id, exc.code, exc.message, status=exc.status
+                )
+                break
+        if total_retries or rerouted:
+            # Envelope metadata, sibling of "result": the payload bytes stay
+            # untouched, but SDKs can count the pressure (client.shard_retries,
+            # client.reroutes).
+            response["routing"] = {
+                "shard": target,
+                "retries": total_retries,
+                "rerouted": rerouted,
+            }
+        return response
+
+    # ------------------------------------------------------------------
+    # merged inline ops
+    # ------------------------------------------------------------------
+    async def _fanout(self, op: str, params: "dict | None" = None) -> list:
+        """One call per shard, 5s timeout each; exceptions come back as
+        values so one dead shard degrades the view instead of erasing it."""
+
+        async def one(client: AsyncServiceClient) -> Any:
+            return await asyncio.wait_for(client.call(op, params), timeout=5.0)
+
+        return await asyncio.gather(
+            *(one(c) for c in self._clients), return_exceptions=True
+        )
+
+    async def _merged_health(self) -> dict:
+        payloads = await self._fanout("health")
+        shards = []
+        all_ok = True
+        for i, payload in enumerate(payloads):
+            if isinstance(payload, dict):
+                shards.append({"shard": i, **payload})
+                if payload.get("status") != "ok":
+                    all_ok = False
+            else:
+                shards.append(
+                    {"shard": i, "status": "unreachable", "error": str(payload)}
+                )
+                all_ok = False
+        status = "draining" if self._draining else ("ok" if all_ok else "degraded")
+        return {
+            "status": status,
+            "uptime_s": round(perf_counter() - self._started_pc, 3),
+            "pid": os.getpid(),
+            "workers": len(shards),
+            "shards": shards,
+        }
+
+    def _merge_worker_registries(
+        self, payloads: list
+    ) -> "tuple[MetricsRegistry, list[dict]]":
+        """Fold each worker's full registry snapshot into one registry (the
+        exact shared-nothing merge) and return per-shard stats with the bulky
+        snapshot stripped."""
+        merged = MetricsRegistry()
+        shards: list[dict] = []
+        for i, payload in enumerate(payloads):
+            if not isinstance(payload, dict):
+                shards.append({"shard": i, "error": str(payload)})
+                continue
+            snapshot = payload.pop("registry", None)
+            if isinstance(snapshot, dict):
+                merged.merge(snapshot)
+            shards.append({"shard": i, **payload})
+        return merged, shards
+
+    async def _merged_stats(self) -> dict:
+        payloads = await self._fanout("stats", {"full": True})
+        merged, shards = self._merge_worker_registries(payloads)
+        snap = merged.snapshot()
+        gauges = {"queue_depth": 0, "queue_capacity": 0, "inflight_groups": 0}
+        cache = {"size": 0, "capacity": 0}
+        for entry in shards:
+            for key in gauges:
+                value = entry.get(key)
+                if isinstance(value, (int, float)):
+                    gauges[key] += value
+            entry_cache = entry.get("index_cache")
+            if isinstance(entry_cache, dict):
+                for key in cache:
+                    value = entry_cache.get(key)
+                    if isinstance(value, (int, float)):
+                        cache[key] += value
+        router_registry = get_registry()
+        router_counters = {
+            k: v
+            for k, v in router_registry.counters().items()
+            if k.startswith(("router.", "client."))
+        }
+        return {
+            "uptime_s": round(perf_counter() - self._started_pc, 3),
+            "draining": self._draining,
+            **gauges,
+            "index_cache": cache,
+            "counters": {
+                k: v
+                for k, v in snap["counters"].items()
+                if k.startswith(("service.", "kernels."))
+            },
+            "op_timers": {
+                k: v for k, v in snap["timers"].items() if k.startswith("service.op.")
+            },
+            "latency_ms": snap["histograms"].get("service.latency_ms"),
+            "router": {
+                "workers": len(self._clients),
+                "restarts": self.supervisor.restarts,
+                "respawns": self.supervisor.respawns,
+                "counters": router_counters,
+            },
+            "shards": shards,
+        }
+
+    async def _merged_metrics(self) -> dict:
+        payloads = await self._fanout("stats", {"full": True})
+        merged, _ = self._merge_worker_registries(payloads)
+        merged.merge(get_registry().snapshot())  # + router.*/client.* counters
+        return {
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+            "text": to_prometheus(merged.snapshot()),
+        }
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    async def _control(self, request: Request) -> dict:
+        action = request.params.get("action")
+        if action != "restart":
+            return error_response(
+                request.id, INVALID, f"unknown control action {action!r}"
+            )
+        shard = request.params.get("shard")
+        n = self.supervisor.n_shards
+        if shard is None:
+            targets = list(range(n))
+        elif isinstance(shard, int) and not isinstance(shard, bool) and 0 <= shard < n:
+            targets = [shard]
+        else:
+            return error_response(
+                request.id, INVALID, f"shard must be null or 0..{n - 1}, got {shard!r}"
+            )
+        loop = asyncio.get_running_loop()
+        start = perf_counter()
+        for target in targets:  # strictly one at a time: a *rolling* restart
+            await loop.run_in_executor(None, self.supervisor.restart, target)
+        return ok_response(
+            request.id,
+            {"restarted": targets, "duration_s": round(perf_counter() - start, 3)},
+        )
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _send(self, conn: _Conn, obj: Mapping[str, Any]) -> None:
+        data = encode_response(obj)
+        try:
+            async with conn.lock:
+                if conn.writer.is_closing():
+                    return
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            get_registry().inc("router.responses.dropped")
+
+
+class ShardedTier:
+    """Router + workers on a background thread — the embedding tests and
+    benchmarks use (the process-level analogue of
+    :class:`~repro.service.server.ServerThread`).
+
+    Usage::
+
+        with ShardedTier(workers=2, worker_config={"threads": 1}) as tier:
+            client = ServiceClient(tier.address)
+            ...
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: str | None = None,
+        worker_config: "Mapping[str, Any] | None" = None,
+        **router_kwargs: Any,
+    ) -> None:
+        self._supervisor = ShardSupervisor(workers, worker_config=worker_config)
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._router_kwargs = router_kwargs
+        self._router: ReproRouter | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> "ShardedTier":
+        self._supervisor.start()  # workers first; the router binds after
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            self._supervisor.stop()
+            raise RuntimeError("router thread did not start within 30s")
+        if self._error is not None:
+            self._supervisor.stop()
+            raise RuntimeError(f"router failed to start: {self._error!r}")
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()/stop()
+            self._error = exc
+        finally:
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        router = ReproRouter(
+            self._supervisor,
+            host=self._host,
+            port=self._port,
+            socket_path=self._socket_path,
+            **self._router_kwargs,
+        )
+        await router.start()
+        self._router = router
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await router.wait_drained()
+
+    @property
+    def router(self) -> ReproRouter:
+        assert self._router is not None
+        return self._router
+
+    @property
+    def supervisor(self) -> ShardSupervisor:
+        return self._supervisor
+
+    @property
+    def address(self) -> "tuple[str, int] | str":
+        return self.router.address
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Gracefully drain the router (which drains the workers too)."""
+        if (
+            self._thread is not None
+            and self._thread.is_alive()
+            and self._loop is not None
+            and self._router is not None
+        ):
+            self._loop.call_soon_threadsafe(self._router.begin_drain)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise RuntimeError("router thread did not drain within timeout")
+        self._supervisor.stop()  # no-op after a clean drain
+
+    def __enter__(self) -> "ShardedTier":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def run_sharded(
+    *,
+    workers: int,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    socket_path: str | None = None,
+    worker_config: "Mapping[str, Any] | None" = None,
+    manifest_path: str | None = None,
+    vnodes: int = DEFAULT_VNODES,
+    handle_signals: bool = True,
+) -> int:
+    """``repro serve --workers N`` (N >= 2): run the sharded tier until a
+    graceful drain completes.  Returns 0; 2 when the router address cannot
+    be bound (checked *before* paying the worker spawns); 1 when a worker
+    fails to come up."""
+    supervisor = ShardSupervisor(workers, worker_config=worker_config)
+    router = ReproRouter(
+        supervisor,
+        host=host,
+        port=port,
+        socket_path=socket_path,
+        vnodes=vnodes,
+        manifest_path=manifest_path,
+    )
+
+    async def _main() -> int:
+        try:
+            await router.start()
+        except OSError as exc:
+            if exc.errno in BIND_ERRNOS:
+                print(
+                    format_bind_error(router.requested_endpoint, exc),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return 2
+            raise
+        loop = asyncio.get_running_loop()
+        try:
+            await loop.run_in_executor(None, supervisor.start)
+        except Exception as exc:  # noqa: BLE001 - spawn/readiness failure
+            print(f"repro serve: worker startup failed: {exc}", file=sys.stderr)
+            for srv in router._servers:
+                srv.close()
+            supervisor.stop()
+            return 1
+        if handle_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, router.begin_drain)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+        print(
+            f"repro service listening on {router.endpoint} "
+            f"({workers} workers, digest-affinity routing)",
+            file=sys.stderr,
+            flush=True,
+        )
+        await router.wait_drained()
+        return 0
+
+    return asyncio.run(_main())

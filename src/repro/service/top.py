@@ -14,6 +14,12 @@ Errors / Duration plus the queue and cache gauges that explain them:
 previous) so the layout is unit-testable without a daemon; :func:`run_top`
 owns the terminal loop (ANSI home-and-clear between frames, plain
 append-only output when not a TTY, ``--once`` for scripts).
+
+Pointed at a sharded router (``repro serve --workers N``) the same poll
+returns the *merged* stats — the headline block is then the aggregate
+across every worker — plus a ``shards`` list, rendered as one row per
+shard (requests, errors, shed, p50/p99, queue, cache hit rate) so a
+drained, restarting or unbalanced shard is visible at a glance.
 """
 
 from __future__ import annotations
@@ -99,7 +105,45 @@ def render(
             f" ({cache.get('size', 0)}/{cache.get('capacity', 0)} resident)"
         ),
     ]
+    shards = stats.get("shards")
+    if isinstance(shards, list) and shards:
+        # Sharded router: the block above is already the aggregate (merged
+        # counters/histograms); add one row per worker under it.
+        lines.append("")
+        lines.append(
+            f"{'shard':>5}  {'state':<7} {'req':>9} {'err':>7} {'shed':>6}"
+            f" {'p50ms':>8} {'p99ms':>8} {'queue':>9} {'cache%':>7}"
+        )
+        for entry in shards:
+            lines.append(_shard_row(entry))
     return "\n".join(lines)
+
+
+def _shard_row(entry: Mapping[str, Any]) -> str:
+    """One per-shard dashboard row from a router ``shards`` entry."""
+    shard_id = entry.get("shard", "?")
+    if "error" in entry:
+        return f"{shard_id:>5}  {'down':<7} {entry.get('error', '')}"
+    counters = entry.get("counters", {})
+    lat = entry.get("latency_ms") or {}
+    hits = counters.get("service.index_cache.hits", 0.0)
+    misses = counters.get("service.index_cache.misses", 0.0)
+    lookups = hits + misses
+    hit_pct = (hits / lookups * 100.0) if lookups else 0.0
+    state = "drain" if entry.get("draining") else "ok"
+
+    def _ms(v: Any) -> str:
+        return f"{v:8.2f}" if isinstance(v, (int, float)) else "     n/a"
+
+    queue = f"{entry.get('queue_depth', 0)}/{entry.get('queue_capacity', 0)}"
+    return (
+        f"{shard_id:>5}  {state:<7}"
+        f" {counters.get('service.requests', 0.0):9.0f}"
+        f" {counters.get('service.errors', 0.0):7.0f}"
+        f" {counters.get('service.shed', 0.0):6.0f}"
+        f" {_ms(lat.get('p50'))} {_ms(lat.get('p99'))}"
+        f" {queue:>9} {hit_pct:6.1f}%"
+    )
 
 
 def run_top(

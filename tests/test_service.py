@@ -26,7 +26,7 @@ from repro.service.protocol import schedule_result
 @pytest.fixture(scope="module")
 def server():
     """One shared daemon for the read-only tests (port 0 = ephemeral)."""
-    with ServerThread(port=0, workers=2) as st:
+    with ServerThread(port=0, threads=2) as st:
         yield st
 
 
@@ -165,7 +165,7 @@ class TestDeadlines:
     def test_queued_past_deadline_is_504(self):
         # one worker: a heavy request (GA, ~200ms) occupies it while a
         # 1 ms-deadline request waits in the queue, guaranteeing the miss
-        with ServerThread(port=0, workers=1) as st:
+        with ServerThread(port=0, threads=1) as st:
             heavy = gaussian_elimination(12)
             light = fork_join(3)
 
@@ -185,7 +185,7 @@ class TestDeadlines:
 
 class TestShedding:
     def test_queue_overflow_sheds_503(self):
-        with ServerThread(port=0, workers=1, queue_size=2) as st:
+        with ServerThread(port=0, threads=1, queue_size=2) as st:
             heavy = gaussian_elimination(12)
 
             async def run():
@@ -212,7 +212,7 @@ class TestBatchingByDigest:
     def test_same_graph_requests_share_one_compile(self):
         # pipeline many same-graph requests; the dispatcher groups them by
         # digest, so the index compiles once for the whole burst
-        with ServerThread(port=0, workers=1, batch_max=32) as st:
+        with ServerThread(port=0, threads=1, batch_max=32) as st:
             graph = fork_join(6, stages=2)
 
             async def run():
@@ -246,7 +246,7 @@ class TestDrain:
         # fire a burst, then drain mid-flight: every request must get a
         # response — completed work or an explicit 503 "draining", never
         # a silently dropped frame
-        st = ServerThread(port=0, workers=1).start()
+        st = ServerThread(port=0, threads=1).start()
         graph = gaussian_elimination(12)
 
         async def run():
@@ -303,3 +303,289 @@ class TestUnixSocket:
                 res = c.schedule(paper_example, "DSC")
                 expected = schedule_result("DSC", paper_example, direct)
                 assert wire.dumps(res) == wire.dumps(expected)
+
+
+# ----------------------------------------------------------------------
+# the sharded tier (router + worker processes, consistent hashing)
+# ----------------------------------------------------------------------
+
+
+class TestHashRing:
+    """The routing ring's contracts: determinism, balance, and — the reason
+    consistent hashing exists — minimal key movement under resize."""
+
+    KEYS = [f"digest-{i:05d}" for i in range(2000)]
+
+    def test_deterministic_across_instances(self):
+        from repro.service.ring import HashRing
+
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.shard_for(k) for k in self.KEYS] == [
+            b.shard_for(k) for k in self.KEYS
+        ]
+
+    def test_every_shard_owns_keys(self):
+        from repro.service.ring import HashRing
+
+        ring = HashRing(range(4))
+        owners = {ring.shard_for(k) for k in self.KEYS}
+        assert owners == {0, 1, 2, 3}
+
+    def test_roughly_balanced(self):
+        from repro.service.ring import HashRing
+
+        ring = HashRing(range(4))
+        counts = {s: 0 for s in range(4)}
+        for k in self.KEYS:
+            counts[ring.shard_for(k)] += 1
+        # vnodes keep the split even-ish; cache affinity needs stability,
+        # not perfection — but no shard may be starved or hogging.
+        assert min(counts.values()) > len(self.KEYS) * 0.10
+        assert max(counts.values()) < len(self.KEYS) * 0.45
+
+    def test_adding_a_shard_only_moves_keys_to_it(self):
+        from repro.service.ring import HashRing
+
+        small = HashRing(range(4))
+        grown = HashRing(range(5))
+        moved = 0
+        for k in self.KEYS:
+            before, after = small.shard_for(k), grown.shard_for(k)
+            if before != after:
+                moved += 1
+                # the defining property: a new shard only *takes* keys —
+                # keys never shuffle between the surviving shards
+                assert after == 4
+        # ~1/5 of the keyspace should move, and certainly not most of it
+        assert 0 < moved < len(self.KEYS) * 0.40
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        from repro.service.ring import HashRing
+
+        full = HashRing(range(5))
+        shrunk = HashRing([0, 1, 2, 3])  # shard 4 removed
+        for k in self.KEYS:
+            before, after = full.shard_for(k), shrunk.shard_for(k)
+            if before != 4:
+                assert after == before  # survivors keep their keys
+
+    def test_fallback_is_a_different_shard(self):
+        from repro.service.ring import HashRing
+
+        ring = HashRing(range(4))
+        for k in self.KEYS[:200]:
+            owner = ring.shard_for(k)
+            assert ring.fallback_for(k, owner) != owner
+        single = HashRing([0])
+        assert single.fallback_for("anything", 0) == 0
+
+
+@pytest.fixture(scope="module")
+def tier():
+    """One shared router + 2 worker processes (spawning workers is the
+    expensive part, so the read-only sharded tests share a tier)."""
+    from repro.service.shard import ShardedTier
+
+    with ShardedTier(workers=2, worker_config={"threads": 1}) as t:
+        yield t
+
+
+class TestShardedTier:
+    @pytest.mark.parametrize("name", sorted(SCHEDULER_REGISTRY))
+    def test_every_heuristic_byte_identical_through_router(self, tier, name):
+        graph = fork_join(4)
+        with ServiceClient(tier.address) as c:
+            via_tier = c.schedule(graph, name)
+        direct = get_scheduler(name).schedule(graph)
+        expected = schedule_result(name, graph, direct)
+        assert wire.dumps(via_tier) == wire.dumps(expected)
+
+    def test_merged_health_lists_every_shard(self, tier):
+        with ServiceClient(tier.address) as c:
+            h = c.health()
+        assert h["status"] == "ok"
+        assert h["workers"] == 2
+        assert [s["shard"] for s in h["shards"]] == [0, 1]
+        assert all(s["status"] == "ok" for s in h["shards"])
+        # workers are real separate processes, not threads
+        pids = {s["pid"] for s in h["shards"]}
+        assert len(pids) == 2 and h["pid"] not in pids
+
+    def test_digest_affinity_pins_a_graph_to_one_shard(self, tier):
+        graph = gaussian_elimination(7)
+        with ServiceClient(tier.address) as c:
+            before = [
+                s.get("counters", {}).get("service.requests", 0.0)
+                for s in c.stats()["shards"]
+            ]
+            for _ in range(6):
+                c.schedule(graph, "HLFET")
+            after = [
+                s.get("counters", {}).get("service.requests", 0.0)
+                for s in c.stats()["shards"]
+            ]
+        deltas = [a - b for a, b in zip(after, before)]
+        # all six same-digest requests landed on exactly one shard
+        assert sorted(deltas) == [0.0, 6.0]
+
+    def test_merged_stats_sum_per_shard_counters(self, tier):
+        with ServiceClient(tier.address) as c:
+            c.classify(fork_join(3))
+            stats = c.stats()
+        per_shard = sum(
+            s.get("counters", {}).get("service.requests", 0.0)
+            for s in stats["shards"]
+        )
+        assert stats["counters"]["service.requests"] == per_shard > 0
+        assert stats["queue_capacity"] == 2 * 128  # summed across shards
+        lat = stats["latency_ms"]
+        assert lat is not None and lat["count"] >= per_shard - 1
+        assert stats["router"]["workers"] == 2
+        assert stats["router"]["counters"].get("router.requests", 0) > 0
+
+    def test_merged_metrics_exposition(self, tier):
+        with ServiceClient(tier.address) as c:
+            c.classify(fork_join(3))
+            m = c.metrics()
+        assert "0.0.4" in m["content_type"]
+        assert "repro_service_requests_total" in m["text"]
+        assert "repro_router_requests_total" in m["text"]
+        assert "repro_service_latency_ms_bucket" in m["text"]
+
+    def test_top_renders_per_shard_rows(self, tier):
+        from repro.service.top import render
+
+        with ServiceClient(tier.address) as c:
+            stats = c.stats()
+        frame = render(stats)
+        lines = frame.splitlines()
+        assert any(line.startswith("rate") for line in lines)  # aggregate block
+        shard_header = [line for line in lines if "shard" in line and "p99ms" in line]
+        assert len(shard_header) == 1
+        # one row per shard, each starting with its id and a state column
+        rows = lines[lines.index(shard_header[0]) + 1 :]
+        assert len(rows) == 2
+        assert rows[0].split()[:2] == ["0", "ok"]
+        assert rows[1].split()[:2] == ["1", "ok"]
+
+    def test_batch_via_router(self, tier, paper_example):
+        with ServiceClient(tier.address) as c:
+            responses = c.batch(
+                [
+                    {"op": "classify", "params": {"graph": paper_example}},
+                    {
+                        "op": "schedule",
+                        "params": {"graph": paper_example, "heuristic": "HU"},
+                    },
+                ]
+            )
+        assert [r["ok"] for r in responses] == [True, True]
+        assert responses[1]["result"]["heuristic"] == "HU"
+
+    def test_router_validation_errors_match_daemon(self, tier, server):
+        """Error payloads must be identical through either front door (the
+        worker, not the router, owns validation)."""
+        for params in ({"heuristic": "HU"}, {"graph": "not-a-graph"}):
+            with ServiceClient(tier.address) as c:
+                with pytest.raises(ServiceError) as via_tier:
+                    c.call("schedule", params)
+            with ServiceClient(server.address) as c:
+                with pytest.raises(ServiceError) as via_daemon:
+                    c.call("schedule", params)
+            assert str(via_tier.value) == str(via_daemon.value)
+
+    def test_control_requires_router(self, client):
+        # `client` talks to the single-process daemon fixture
+        with pytest.raises(ServiceError) as exc:
+            client.call("control", {"action": "restart"})
+        assert exc.value.code == 400
+        assert "router" in exc.value.message
+
+    def test_control_rejects_bad_shard(self, tier):
+        with ServiceClient(tier.address) as c:
+            with pytest.raises(ServiceError) as exc:
+                c.call("control", {"action": "restart", "shard": 99})
+            assert exc.value.code == 400
+            with pytest.raises(ServiceError) as exc:
+                c.call("control", {"action": "frobnicate"})
+            assert exc.value.code == 400
+
+
+class TestShardRestart:
+    def test_rolling_restart_under_traffic(self):
+        """A rolling restart of every shard while requests keep flowing:
+        nothing fails — the router retries/reroutes around the drain
+        windows and the SDK surfaces that pressure as client counters."""
+        from repro.service.client import client_counters
+        from repro.service.shard import ShardedTier
+
+        graphs = [fork_join(n) for n in (3, 4, 5, 6)]
+        with ShardedTier(workers=2, worker_config={"threads": 1}) as t:
+            with ServiceClient(t.address, timeout=60.0) as c:
+                expected = {}
+                for g in graphs:
+                    expected[id(g)] = wire.dumps(c.schedule(g, "HLFET"))
+                before = client_counters()
+                done = {}
+
+                def restart_all():
+                    with ServiceClient(t.address, timeout=120.0) as c2:
+                        done["result"] = c2.call("control", {"action": "restart"})
+
+                worker = threading.Thread(target=restart_all)
+                worker.start()
+                served = 0
+                while worker.is_alive():
+                    for g in graphs:
+                        # must succeed (routed around the restart), and the
+                        # payload must be byte-identical to pre-restart
+                        assert wire.dumps(c.schedule(g, "HLFET")) == expected[id(g)]
+                        served += 1
+                worker.join()
+                after = client_counters()
+                stats = c.stats()
+        assert done["result"]["restarted"] == [0, 1]
+        assert served > 0
+        assert stats["router"]["restarts"] == 2
+        # the restart window forced at least one retry or reroute, and the
+        # SDK folded it into the client.* pressure counters
+        pressure = (
+            after.get("shard_retries", 0.0)
+            - before.get("shard_retries", 0.0)
+            + after.get("reroutes", 0.0)
+            - before.get("reroutes", 0.0)
+        )
+        assert pressure > 0
+
+
+class TestBindErrors:
+    def test_port_in_use_exits_2_single_process(self, server):
+        """`repro serve` on an occupied port: exit code 2 and a readable
+        message, not an asyncio traceback (the satellite bugfix)."""
+        from repro.service.server import ReproServer, run_server
+
+        host, port = server.address
+        taken = ReproServer(host=host, port=port)
+        assert run_server(taken, handle_signals=False) == 2
+
+    def test_port_in_use_exits_2_router_mode(self, server):
+        from repro.service.shard import run_sharded
+
+        host, port = server.address
+        rc = run_sharded(
+            workers=2,
+            host=host,
+            port=port,
+            worker_config={"threads": 1},
+            handle_signals=False,
+        )
+        assert rc == 2
+
+    def test_socket_path_in_use_exits_2(self, tmp_path):
+        from repro.service.server import ReproServer, run_server
+
+        sock_path = str(tmp_path / "taken.sock")
+        with ServerThread(socket_path=sock_path):
+            taken = ReproServer(socket_path=sock_path)
+            assert run_server(taken, handle_signals=False) == 2

@@ -308,7 +308,7 @@ class TestDistributedTrace:
         tracer = Tracer(enabled=True)
         registry = MetricsRegistry()
         with use_registry(registry), use_tracer(tracer):
-            with ServerThread(port=0, workers=2) as srv:
+            with ServerThread(port=0, threads=2) as srv:
                 with ServiceClient(srv.address) as client:
                     client.schedule(gaussian_elimination(5), "MCP")
 
@@ -333,7 +333,7 @@ class TestDistributedTrace:
         tracer = Tracer(enabled=True)
         registry = MetricsRegistry()
         with use_registry(registry), use_tracer(tracer):
-            with ServerThread(port=0, workers=1) as srv:
+            with ServerThread(port=0, threads=1) as srv:
                 with ServiceClient(srv.address) as client:
                     client.classify(fork_join(3))
                     client.classify(fork_join(4))
