@@ -1,0 +1,198 @@
+"""The campaign journal: the coordinator's single source of durable truth.
+
+Append-only JSONL, fsync'd per record via
+:func:`repro.experiments.persistence.append_jsonl_line` (which also
+self-heals after a torn trailing line).  Four record types::
+
+    {"type": "campaign",   "v": 1, "spec": {...}, "digest": "..."}
+    {"type": "grant",      "v": 1, "unit_id": "u00003", "worker": "w1",
+                           "attempt": 2}
+    {"type": "unit",       "v": 1, "unit_id": "u00003", "digest": "...",
+                           "worker": "w1", "results": [...],
+                           "failures": [...]}
+    {"type": "quarantine", "v": 1, "unit_id": "u00003", "attempts": 3,
+                           "worker": "w1"}
+
+``campaign`` is written once at creation and pins the spec (and its
+digest) so ``repro campaign resume`` needs nothing but the journal path.
+``grant`` is written *before* a lease is handed out, making attempt
+counts survive coordinator crashes — a poison unit cannot dodge
+quarantine by rebooting the coordinator.  ``unit`` is written exactly
+once per unit — the first accepted delivery; later duplicates are
+acknowledged but never journaled, which is the whole exactly-once merge
+argument (see DESIGN.md §16).  ``quarantine`` retires a unit that burned
+``max_attempts`` grants without a delivery.
+
+Load tolerates torn trailing lines exactly like the checkpoint journal:
+a record that fails to parse is discarded with a warning and loading
+continues, because a resumed coordinator appends *after* the fragment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..experiments.faults import FailureRecord
+from ..experiments.measures import GraphResult
+from ..experiments.persistence import (
+    append_jsonl_line,
+    result_from_dict,
+    result_to_dict,
+)
+from ..obs.log import get_logger
+from .spec import CampaignSpec
+
+__all__ = ["UnitDelivery", "CampaignJournal", "CampaignState"]
+
+
+class UnitDelivery:
+    """One accepted unit result: the graphs' results plus absorbed failures."""
+
+    __slots__ = ("unit_id", "digest", "worker", "results", "failures")
+
+    def __init__(
+        self,
+        unit_id: str,
+        digest: str,
+        worker: str,
+        results: list[GraphResult],
+        failures: list[FailureRecord],
+    ) -> None:
+        self.unit_id = unit_id
+        self.digest = digest
+        self.worker = worker
+        self.results = results
+        self.failures = failures
+
+    def to_dict(self) -> dict:
+        return {
+            "unit_id": self.unit_id,
+            "digest": self.digest,
+            "worker": self.worker,
+            "results": [result_to_dict(r) for r in self.results],
+            "failures": [fr.to_dict() for fr in self.failures],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UnitDelivery":
+        return cls(
+            unit_id=data["unit_id"],
+            digest=data["digest"],
+            worker=data.get("worker", "?"),
+            results=[result_from_dict(r) for r in data["results"]],
+            failures=[FailureRecord.from_dict(f) for f in data["failures"]],
+        )
+
+
+class CampaignState:
+    """Everything :meth:`CampaignJournal.load` recovers from disk."""
+
+    __slots__ = ("spec", "digest", "completed", "attempts", "quarantined")
+
+    def __init__(self) -> None:
+        self.spec: CampaignSpec | None = None
+        self.digest: str | None = None
+        #: unit_id -> first accepted delivery.
+        self.completed: dict[str, UnitDelivery] = {}
+        #: unit_id -> lease grants so far (attempt counter for poison).
+        self.attempts: dict[str, int] = {}
+        #: unit ids retired as poison.
+        self.quarantined: set[str] = set()
+
+
+class CampaignJournal:
+    """Durable append-only record of one campaign's coordination events."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write_header(self, spec: CampaignSpec) -> None:
+        append_jsonl_line(
+            self.path,
+            {
+                "type": "campaign",
+                "v": 1,
+                "spec": spec.to_dict(),
+                "digest": spec.digest(),
+            },
+        )
+
+    def write_grant(self, unit_id: str, worker: str, attempt: int) -> None:
+        append_jsonl_line(
+            self.path,
+            {
+                "type": "grant",
+                "v": 1,
+                "unit_id": unit_id,
+                "worker": worker,
+                "attempt": attempt,
+            },
+        )
+
+    def write_unit(self, delivery: UnitDelivery) -> None:
+        append_jsonl_line(self.path, {"type": "unit", "v": 1, **delivery.to_dict()})
+
+    def write_quarantine(self, unit_id: str, attempts: int, worker: str) -> None:
+        append_jsonl_line(
+            self.path,
+            {
+                "type": "quarantine",
+                "v": 1,
+                "unit_id": unit_id,
+                "attempts": attempts,
+                "worker": worker,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self) -> CampaignState:
+        """Replay the journal into a :class:`CampaignState`.
+
+        Torn or malformed lines are discarded with a warning (the resumed
+        coordinator appends after them — see :func:`append_jsonl_line`).
+        A duplicate ``unit`` record (possible if a crash landed between
+        journaling and acking, then the worker redelivered to a resumed
+        coordinator) keeps the *first* occurrence, matching the live
+        coordinator's first-delivery-wins rule.
+        """
+        state = CampaignState()
+        if not self.path.exists():
+            return state
+        log = get_logger("campaign")
+        for lineno, line in enumerate(self.path.read_text().splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                kind = obj.get("type") if isinstance(obj, dict) else None
+                if kind == "campaign":
+                    state.spec = CampaignSpec.from_dict(obj["spec"])
+                    state.digest = obj["digest"]
+                elif kind == "grant":
+                    uid = obj["unit_id"]
+                    state.attempts[uid] = max(
+                        state.attempts.get(uid, 0), int(obj["attempt"])
+                    )
+                elif kind == "unit":
+                    delivery = UnitDelivery.from_dict(obj)
+                    state.completed.setdefault(delivery.unit_id, delivery)
+                elif kind == "quarantine":
+                    state.quarantined.add(obj["unit_id"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                log.warning(
+                    "%s:%d: torn campaign journal line (crash mid-append?); "
+                    "discarding the partial record",
+                    self.path,
+                    lineno,
+                )
+        return state

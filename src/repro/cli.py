@@ -12,6 +12,7 @@ Subcommands::
     repro-sched serve     [--port 29267 | --socket PATH] [--workers 2]
     repro-sched submit    <graph.json> --heuristic DSC [--json] [--deadline-ms 250]
     repro-sched top       [--host H --port P | --socket PATH] [--interval 2]
+    repro-sched campaign  run|resume|worker|status [--journal PATH] [--local-workers N]
 
 Observability: ``--verbose`` / ``--log-json`` (before the subcommand)
 control structured logging; ``experiment``/``report`` accept
@@ -606,6 +607,189 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return run_top(address, interval=args.interval, once=args.once)
 
 
+# ----------------------------------------------------------------------
+# campaign tier (repro campaign run | resume | worker | status)
+# ----------------------------------------------------------------------
+
+
+def _campaign_address(args: argparse.Namespace) -> "tuple[str, int] | str":
+    from .service.protocol import DEFAULT_PORT
+
+    # The campaign coordinator defaults to the service port + 1 so a
+    # scheduling daemon and a coordinator can coexist on one host.
+    return args.socket or (
+        args.host,
+        (DEFAULT_PORT + 1) if args.port is None else args.port,
+    )
+
+
+def _parse_cell(text: str) -> tuple[int, int, tuple[int, int]]:
+    """argparse type for ``--cell BAND:ANCHOR:WMIN:WMAX``."""
+    try:
+        band, anchor, wmin, wmax = (int(x) for x in text.split(":"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected BAND:ANCHOR:WMIN:WMAX, got {text!r}"
+        ) from None
+    return (band, anchor, (wmin, wmax))
+
+
+def _campaign_spec_from_args(args: argparse.Namespace):
+    from .campaign import CampaignSpec
+
+    heuristics = None
+    if args.heuristics:
+        names = [n.strip().upper() for n in args.heuristics.split(",") if n.strip()]
+        for name in names:
+            get_scheduler(name)  # fail fast on unknown heuristics
+        heuristics = tuple(names)
+    return CampaignSpec(
+        graphs_per_cell=args.graphs_per_cell,
+        seed=args.seed,
+        n_tasks_range=(args.nmin, args.nmax),
+        cells=tuple(args.cell) if args.cell else None,
+        heuristics=heuristics,
+        validate=args.validate,
+        unit_size=args.unit_size,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_attempts=args.max_attempts,
+    )
+
+
+def _spawn_local_workers(
+    n: int, address: "tuple[str, int] | str", jobs: int
+) -> list:
+    """Start ``n`` `repro campaign worker` subprocesses against ``address``."""
+    import subprocess
+
+    argv = [sys.executable, "-m", "repro", "campaign", "worker"]
+    if isinstance(address, str):
+        argv += ["--socket", address]
+    else:
+        argv += ["--host", address[0], "--port", str(address[1])]
+    if jobs != 1:
+        argv += ["--jobs", str(jobs)]
+    return [subprocess.Popen(argv) for _ in range(n)]
+
+
+def _campaign_serve(coordinator, args: argparse.Namespace) -> int:
+    """Shared tail of ``campaign run`` and ``campaign resume``: serve the
+    coordinator until the campaign completes, reap local workers, merge."""
+    from .campaign import CampaignServer
+    from .experiments.faults import format_failure_report
+    from .experiments.persistence import save_results
+
+    server = CampaignServer(coordinator, _campaign_address(args))
+    server.start()
+    workers = _spawn_local_workers(
+        args.local_workers, server.bound_address, args.jobs
+    )
+    try:
+        # The grace window keeps the socket answering briefly after the
+        # last unit merges, so workers mid-retry (e.g. resubmitting a
+        # delivery whose ack a coordinator crash swallowed) learn the
+        # campaign is done instead of exhausting their patience budget.
+        server.serve_until_done(grace=max(3.0, args.lease_ttl))
+    except KeyboardInterrupt:
+        print(
+            f"interrupted; resume with: repro campaign resume "
+            f"--journal {coordinator.journal.path}",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        for proc in workers:
+            try:
+                proc.wait(timeout=10.0)
+            except Exception:
+                proc.terminate()
+        server.stop()
+    merged = coordinator.merge()
+    status = coordinator.status()
+    print(
+        f"campaign {coordinator.digest[:12]} done: "
+        f"{status['completed']}/{status['n_units']} units merged, "
+        f"{status['quarantined']} quarantined, "
+        f"{len(merged)} graph results, {merged.n_failed} failures"
+    )
+    if args.save:
+        save_results(merged, args.save)
+        print(f"saved merged results to {args.save}")
+    if merged.failures:
+        print(format_failure_report(merged.failures), file=sys.stderr)
+    return 3 if status["quarantined"] else 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignCoordinator
+
+    spec = _campaign_spec_from_args(args)
+    try:
+        coordinator = CampaignCoordinator.create(
+            spec, args.journal, lease_ttl=args.lease_ttl
+        )
+    except ValueError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    return _campaign_serve(coordinator, args)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import CampaignCoordinator
+
+    try:
+        coordinator = CampaignCoordinator.resume(
+            args.journal, lease_ttl=args.lease_ttl
+        )
+    except ValueError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    return _campaign_serve(coordinator, args)
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from .campaign import run_worker
+    from .service.client import ServiceError
+
+    try:
+        run_worker(
+            _campaign_address(args),
+            worker_id=args.worker_id,
+            jobs=args.jobs,
+            patience=args.patience,
+            max_units=args.max_units,
+        )
+    except ServiceError as exc:
+        print(f"campaign worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(_campaign_address(args), timeout=args.timeout) as client:
+            status = client.call("campaign.status")
+    except ServiceError as exc:
+        print(f"campaign status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=1))
+        return 0
+    done = status["completed"] + status["quarantined"]
+    print(f"campaign   : {status['campaign'][:12]}")
+    print(f"units      : {done}/{status['n_units']} "
+          f"({status['quarantined']} quarantined)")
+    print(f"graphs     : {status['n_graphs']}")
+    print(f"leased     : {status['leased']}")
+    print(f"workers    : {status['workers']}")
+    print(f"attempts   : {status['attempts']}")
+    print(f"done       : {status['done']}")
+    return 0
+
+
 def _jobs_arg(text: str) -> int:
     """argparse type for ``--jobs``: an int >= 1."""
     try:
@@ -900,6 +1084,140 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the canonical JSON result (same bytes as `schedule --json`)",
     )
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "campaign",
+        help="distributed resumable suite runs (coordinator + leased workers)",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_net_flags(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--host", default="127.0.0.1")
+        cp.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            help="coordinator TCP port (default: service port + 1 = 29268; "
+            "0 picks a free port)",
+        )
+        cp.add_argument(
+            "--socket", metavar="PATH", help="Unix socket instead of TCP"
+        )
+
+    def _campaign_serve_flags(cp: argparse.ArgumentParser) -> None:
+        _campaign_net_flags(cp)
+        cp.add_argument(
+            "--journal",
+            required=True,
+            metavar="PATH",
+            help="fsync'd JSONL campaign journal (the resume token)",
+        )
+        cp.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=15.0,
+            metavar="SECONDS",
+            help="lease time-to-live; a worker silent this long loses its "
+            "unit to rescheduling (default %(default)s)",
+        )
+        cp.add_argument(
+            "--local-workers",
+            type=int,
+            default=0,
+            metavar="N",
+            help="also spawn N worker subprocesses against this coordinator "
+            "(default 0: workers join separately)",
+        )
+        _add_jobs_flag(cp)
+        cp.add_argument(
+            "--save", metavar="PATH", help="write merged results JSON here"
+        )
+
+    cp = csub.add_parser("run", help="start a new campaign coordinator")
+    cp.add_argument("--graphs-per-cell", type=int, default=35)
+    cp.add_argument("--seed", type=int, default=19940815)
+    cp.add_argument("--nmin", type=int, default=40)
+    cp.add_argument("--nmax", type=int, default=100)
+    cp.add_argument(
+        "--cell",
+        action="append",
+        type=_parse_cell,
+        metavar="BAND:ANCHOR:WMIN:WMAX",
+        help="restrict to this suite cell (repeatable; default: all 60)",
+    )
+    cp.add_argument(
+        "--heuristics",
+        metavar="NAMES",
+        help="comma-separated heuristic names (default: the paper's five)",
+    )
+    cp.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every schedule against the execution model",
+    )
+    cp.add_argument(
+        "--unit-size",
+        type=int,
+        default=5,
+        metavar="N",
+        help="graphs per work unit (default %(default)s)",
+    )
+    cp.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="worker-side wall-clock budget per schedule call",
+    )
+    cp.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker-side retries for non-timeout failures",
+    )
+    cp.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="lease grants before a unit is quarantined as poison "
+        "(default %(default)s)",
+    )
+    _campaign_serve_flags(cp)
+    cp.set_defaults(func=_cmd_campaign_run)
+
+    cp = csub.add_parser(
+        "resume", help="rebuild a coordinator from its journal and continue"
+    )
+    _campaign_serve_flags(cp)
+    cp.set_defaults(func=_cmd_campaign_resume)
+
+    cp = csub.add_parser("worker", help="join a campaign and process units")
+    _campaign_net_flags(cp)
+    cp.add_argument("--worker-id", metavar="ID", help="stable worker name")
+    _add_jobs_flag(cp)
+    cp.add_argument(
+        "--patience",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="how long to ride out an unreachable or fully-leased "
+        "coordinator before giving up (default %(default)s)",
+    )
+    cp.add_argument(
+        "--max-units",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after completing N units (default: until done)",
+    )
+    cp.set_defaults(func=_cmd_campaign_worker)
+
+    cp = csub.add_parser("status", help="one-shot campaign progress snapshot")
+    _campaign_net_flags(cp)
+    cp.add_argument("--timeout", type=float, default=5.0)
+    cp.add_argument("--json", action="store_true", help="emit raw JSON")
+    cp.set_defaults(func=_cmd_campaign_status)
 
     p = sub.add_parser("experiment", help="run the suite and print tables/figures")
     p.add_argument("--graphs-per-cell", type=int, default=4)

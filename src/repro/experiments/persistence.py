@@ -16,8 +16,11 @@ never leave a truncated or half-written file where a good one (or nothing)
 should be.  :class:`CheckpointJournal` is the complementary incremental
 form: an append-only JSONL journal of completed graphs and absorbed
 failures with fsync'd appends, used by ``run_suite(..., checkpoint=...)``
-for interrupt/resume of long campaigns.  A torn final line (the crash
-happened mid-append) is detected and ignored on load.
+for interrupt/resume of long campaigns.  A torn line (the crash happened
+mid-append) is discarded with a warning on load — the in-flight graph is
+simply re-evaluated — and :func:`append_jsonl_line` self-heals a journal
+whose last append was torn by starting the next record on a fresh line,
+so one crash can never corrupt records written after the resume.
 """
 
 from __future__ import annotations
@@ -40,6 +43,9 @@ __all__ = [
     "save_suite",
     "load_suite",
     "results_to_csv",
+    "result_to_dict",
+    "result_from_dict",
+    "append_jsonl_line",
     "CheckpointJournal",
 ]
 
@@ -70,6 +76,43 @@ def _atomic_write_text(path: str | Path, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def append_jsonl_line(path: str | Path, obj: dict) -> None:
+    """Append one JSON record to ``path``, flushed and fsync'd.
+
+    Self-healing: when the file does not end with a newline — the previous
+    append was torn by a crash — the new record starts on a fresh line, so
+    the torn fragment stays an isolated bad line instead of corrupting
+    this (good) record by concatenation.  ``sort_keys`` is deliberately
+    not used: key order is the evaluation order the rest of the testbed
+    preserves for byte-identity.
+    """
+    line = json.dumps(obj)
+    needs_newline = False
+    try:
+        with open(path, "rb") as rf:
+            rf.seek(-1, os.SEEK_END)
+            needs_newline = rf.read(1) != b"\n"
+    except (OSError, ValueError):
+        pass  # absent or empty file: nothing to heal
+    with open(path, "a") as fh:
+        if needs_newline:
+            fh.write("\n")
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def result_to_dict(r: GraphResult) -> dict:
+    """JSON form of one :class:`GraphResult` (shared by results files, the
+    checkpoint journal and the campaign journal)."""
+    return _result_to_dict(r)
+
+
+def result_from_dict(r: dict) -> GraphResult:
+    """Inverse of :func:`result_to_dict`."""
+    return _result_from_dict(r)
 
 
 def _result_to_dict(r: GraphResult) -> dict:
@@ -243,11 +286,7 @@ class CheckpointJournal:
         # No sort_keys: the nested per-heuristic results dict must keep its
         # evaluation order so a resumed run's save_results output is
         # byte-identical to an uninterrupted run's.
-        line = json.dumps(obj)
-        with open(self.path, "a") as fh:
-            fh.write(line + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
+        append_jsonl_line(self.path, obj)
 
     # ------------------------------------------------------------------
     # reading
@@ -257,8 +296,11 @@ class CheckpointJournal:
     ) -> tuple[dict[str, GraphResult], dict[str, list[FailureRecord]]]:
         """All journaled results and failures, keyed by graph id.
 
-        Tolerates a torn trailing line (crash mid-append): parsing stops
-        there with a warning and everything before it is used.
+        Tolerates torn lines (crash mid-append): an unparsable or
+        incomplete record is discarded with a warning and parsing
+        continues — a resumed run appends good records *after* the torn
+        fragment (see :func:`append_jsonl_line`), so stopping at the first
+        bad line would silently drop completed work.
         """
         results: dict[str, GraphResult] = {}
         failures: dict[str, list[FailureRecord]] = {}
@@ -270,21 +312,20 @@ class CheckpointJournal:
                 continue
             try:
                 obj = json.loads(line)
-            except json.JSONDecodeError:
+                kind = obj.get("type") if isinstance(obj, dict) else None
+                if kind == "result":
+                    gr = _result_from_dict(obj["data"])
+                    results[gr.graph_id] = gr
+                elif kind == "failure":
+                    fr = FailureRecord.from_dict(obj["data"])
+                    failures.setdefault(fr.graph_id, []).append(fr)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 get_logger("persistence").warning(
                     "%s:%d: torn journal line (crash mid-append?); "
-                    "ignoring it and everything after",
+                    "discarding the partial record",
                     self.path,
                     lineno,
                 )
-                break
-            kind = obj.get("type")
-            if kind == "result":
-                gr = _result_from_dict(obj["data"])
-                results[gr.graph_id] = gr
-            elif kind == "failure":
-                fr = FailureRecord.from_dict(obj["data"])
-                failures.setdefault(fr.graph_id, []).append(fr)
         return results, failures
 
     def load_completed(

@@ -21,8 +21,15 @@ reports it had to retry or reroute the request around a shard restart),
 which is how ``repro submit`` and the load generator report it.
 
 Both retry transport failures (connect refused, connection reset) with
-exponential backoff and then raise :class:`ServiceError` with
-``status="unavailable"``.  Resending after a transport failure is safe
+**full-jitter** exponential backoff — each retry sleeps a uniform random
+time in ``[0, min(cap, backoff * 2**attempt)]`` (:func:`backoff_delay`) —
+and then raise :class:`ServiceError` with ``status="unavailable"``.
+Jitter matters when many clients share one server: a coordinator restart
+would otherwise see every worker's deterministic retry land in the same
+instant (a thundering herd), re-creating the overload that dropped them.
+The actual slept milliseconds are surfaced in ``client.backoff_ms``; the
+cap is the ``backoff_cap`` constructor knob and ``jitter=False`` restores
+the deterministic schedule (tests).  Resending after a transport failure is safe
 because every op is a pure function of its payload — the daemon holds no
 per-request state.  *Application* errors (shed, invalid, deadline) are
 never retried by the SDK: shed responses are an explicit back-pressure
@@ -37,6 +44,7 @@ objects or already-encoded wire dicts.
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
 import time
 from collections.abc import Mapping, Sequence
@@ -63,9 +71,43 @@ __all__ = [
     "AsyncServiceClient",
     "parse_address",
     "client_counters",
+    "backoff_delay",
+    "DEFAULT_BACKOFF_CAP",
 ]
 
 Address = "tuple[str, int] | str"
+
+#: Default ceiling on one backoff sleep, in seconds.  Exponential growth
+#: past a couple of seconds stops helping (the caller's patience budget
+#: dominates) and makes worker reconnection after a coordinator restart
+#: needlessly slow.
+DEFAULT_BACKOFF_CAP = 2.0
+
+
+def backoff_delay(
+    base: float,
+    attempt: int,
+    *,
+    cap: float = DEFAULT_BACKOFF_CAP,
+    jitter: bool = True,
+    rng: "random.Random | None" = None,
+) -> float:
+    """The sleep before retry ``attempt`` (1-based): full-jitter exponential.
+
+    The deterministic envelope is ``min(cap, base * 2**(attempt-1))``;
+    with ``jitter`` (the default) the actual delay is drawn uniformly from
+    ``[0, envelope]`` — the "full jitter" strategy, which de-correlates
+    simultaneous retries from many clients so they cannot re-form the
+    stampede that overloaded the server in the first place.  ``jitter=
+    False`` returns the envelope itself (the historical deterministic
+    schedule).  ``rng`` injects a seeded generator for tests.
+    """
+    envelope = min(cap, base * (2 ** (attempt - 1)))
+    if envelope <= 0.0:
+        return 0.0
+    if not jitter:
+        return envelope
+    return (rng or random).uniform(0.0, envelope)
 
 
 class ServiceError(Exception):
@@ -195,8 +237,9 @@ class ServiceClient(_OpsMixin):
     """Blocking client with connection reuse and transport retries.
 
     ``address`` is ``(host, port)``, ``"host:port"`` or a Unix socket path.
-    ``retries`` counts *re*-attempts after a transport failure; backoff is
-    ``backoff * 2**attempt`` seconds.  Usable as a context manager.
+    ``retries`` counts *re*-attempts after a transport failure; each one
+    sleeps a full-jitter exponential delay (:func:`backoff_delay`) bounded
+    by ``backoff_cap`` seconds.  Usable as a context manager.
     """
 
     def __init__(
@@ -206,12 +249,16 @@ class ServiceClient(_OpsMixin):
         timeout: float = 30.0,
         retries: int = 2,
         backoff: float = 0.05,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        jitter: bool = True,
         max_frame_bytes: int = MAX_FRAME_BYTES,
     ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
         self.max_frame_bytes = max_frame_bytes
         self._sock: socket.socket | None = None
         self._file = None
@@ -290,7 +337,12 @@ class ServiceClient(_OpsMixin):
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                delay = self.backoff * (2 ** (attempt - 1))
+                delay = backoff_delay(
+                    self.backoff,
+                    attempt,
+                    cap=self.backoff_cap,
+                    jitter=self.jitter,
+                )
                 registry.inc("client.retries")
                 registry.inc("client.backoff_ms", delay * 1e3)
                 time.sleep(delay)
@@ -398,11 +450,15 @@ class AsyncServiceClient(_OpsMixin):
         *,
         retries: int = 2,
         backoff: float = 0.05,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        jitter: bool = True,
         max_frame_bytes: int = MAX_FRAME_BYTES,
     ) -> None:
         self.address = parse_address(address)
         self.retries = retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.jitter = jitter
         self.max_frame_bytes = max_frame_bytes
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -433,7 +489,12 @@ class AsyncServiceClient(_OpsMixin):
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                delay = self.backoff * (2 ** (attempt - 1))
+                delay = backoff_delay(
+                    self.backoff,
+                    attempt,
+                    cap=self.backoff_cap,
+                    jitter=self.jitter,
+                )
                 registry.inc("client.retries")
                 registry.inc("client.backoff_ms", delay * 1e3)
                 await asyncio.sleep(delay)

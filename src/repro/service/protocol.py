@@ -27,6 +27,14 @@ daemon rejects it with 400.  ``stats`` accepts ``{"full": true}`` to also
 return the complete metrics-registry snapshot, which is how the router
 merges worker registries exactly.
 
+The campaign tier (:mod:`repro.campaign`) speaks the same framing with its
+own verb family — ``campaign.register``, ``campaign.lease``,
+``campaign.heartbeat``, ``campaign.result``, ``campaign.status``
+(:data:`CAMPAIGN_OPS`) — served by a campaign coordinator
+(``repro campaign run``).  The scheduling daemon and the sharded router
+reject them with 400, mirroring how the plain daemon rejects ``control``:
+one wire codec, per-tier verb support.
+
 Frames may carry a W3C-style ``traceparent`` string
 (``00-<32 hex>-<16 hex>-<2 hex>``, see :mod:`repro.obs.telemetry`); the
 server adopts it as the parent trace context for every span the request
@@ -68,6 +76,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "QUEUED_OPS",
     "INLINE_OPS",
+    "CAMPAIGN_OPS",
     "INVALID",
     "TOO_LARGE",
     "INTERNAL",
@@ -98,6 +107,18 @@ QUEUED_OPS = frozenset({"schedule", "classify", "simulate", "batch"})
 
 #: Ops answered directly on the connection handler, never queued.
 INLINE_OPS = frozenset({"health", "stats", "metrics", "control"})
+
+#: Campaign-coordinator verbs (served by ``repro campaign run``; the
+#: scheduling daemon rejects them with 400).
+CAMPAIGN_OPS = frozenset(
+    {
+        "campaign.register",
+        "campaign.lease",
+        "campaign.heartbeat",
+        "campaign.result",
+        "campaign.status",
+    }
+)
 
 # Error codes (HTTP-flavoured).
 INVALID = 400
@@ -152,8 +173,8 @@ def decode_request(line: bytes | str) -> Request:
     if req_id is not None and not isinstance(req_id, (int, str)):
         raise ProtocolError("id must be an int, string or null")
     op = obj.get("op")
-    if op not in QUEUED_OPS and op not in INLINE_OPS:
-        known = ", ".join(sorted(QUEUED_OPS | INLINE_OPS))
+    if op not in QUEUED_OPS and op not in INLINE_OPS and op not in CAMPAIGN_OPS:
+        known = ", ".join(sorted(QUEUED_OPS | INLINE_OPS | CAMPAIGN_OPS))
         raise ProtocolError(f"unknown op {op!r}; known: {known}")
     params = obj.get("params", {})
     if not isinstance(params, dict):

@@ -85,6 +85,7 @@ from ..obs.telemetry import (
 from ..obs.trace import get_tracer
 from ..schedulers.base import get_scheduler
 from .protocol import (
+    CAMPAIGN_OPS,
     DEADLINE,
     DEFAULT_PORT,
     INTERNAL,
@@ -432,6 +433,18 @@ class ReproServer:
                     request.id,
                     INVALID,
                     "control requires the sharded router (`repro serve --workers N`)",
+                ),
+            )
+            return
+        if request.op in CAMPAIGN_OPS:
+            registry.inc("service.errors")
+            await self._send(
+                conn,
+                error_response(
+                    request.id,
+                    INVALID,
+                    f"{request.op} requires a campaign coordinator "
+                    "(`repro campaign run`)",
                 ),
             )
             return

@@ -57,7 +57,16 @@ def render(
     prev: "Mapping[str, Any] | None" = None,
     interval: "float | None" = None,
 ) -> str:
-    """One dashboard frame from a ``stats`` payload (pure; no I/O)."""
+    """One dashboard frame from a ``stats`` payload (pure; no I/O).
+
+    Pointed at a campaign coordinator (``repro campaign run``), whose
+    ``stats`` payload carries a ``campaign`` block instead of queue and
+    latency gauges, renders campaign progress — units bar, workers,
+    leases, quarantine and unit/heartbeat rates — instead of the RED
+    frame.
+    """
+    if isinstance(stats.get("campaign"), Mapping):
+        return _campaign_frame(stats, prev, interval)
     counters = stats.get("counters", {})
     requests = counters.get("service.requests", 0.0)
     errors = counters.get("service.errors", 0.0)
@@ -117,6 +126,44 @@ def render(
         for entry in shards:
             lines.append(_shard_row(entry))
     return "\n".join(lines)
+
+
+def _campaign_frame(
+    stats: Mapping[str, Any],
+    prev: "Mapping[str, Any] | None",
+    interval: "float | None",
+) -> str:
+    """One dashboard frame for a campaign coordinator's ``stats`` payload."""
+    camp = stats["campaign"]
+    counters = stats.get("counters", {})
+    n_units = max(1, camp.get("n_units", 1))
+    completed = camp.get("completed", 0)
+    quarantined = camp.get("quarantined", 0)
+    settled = completed + quarantined
+    return "\n".join(
+        [
+            f"repro campaign {str(camp.get('campaign', '?'))[:12]}"
+            f"  up {stats.get('uptime_s', 0.0):.0f}s"
+            + ("  [DONE]" if camp.get("done") else ""),
+            (
+                f"units    [{_bar(settled / n_units)}] {completed}/{camp.get('n_units', 0)}"
+                f" merged   quarantined {quarantined}"
+                f"   attempts {camp.get('attempts', 0)}"
+            ),
+            (
+                f"workers  {camp.get('workers', 0)} registered"
+                f"   leases {camp.get('leased', 0)} active"
+                f"   granted {counters.get('campaign.leases.granted', 0.0):.0f}"
+                f"   expired {counters.get('campaign.leases.expired', 0.0):.0f}"
+                f"   duplicates {counters.get('campaign.units.duplicate', 0.0):.0f}"
+            ),
+            (
+                f"rate     units {_fmt_rate(_rate(stats, prev, 'campaign.units.completed', interval))}"
+                f"   heartbeats {_fmt_rate(_rate(stats, prev, 'campaign.heartbeats', interval))}"
+                f"   graphs {counters.get('campaign.graphs.completed', 0.0):.0f} done"
+            ),
+        ]
+    )
 
 
 def _shard_row(entry: Mapping[str, Any]) -> str:

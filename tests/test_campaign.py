@@ -1,0 +1,441 @@
+"""Tests for the distributed campaign tier (repro.campaign).
+
+Covers the PR's acceptance scenarios: deterministic digest-keyed
+sharding; an in-process coordinator + multi-worker run whose merged
+result is byte-identical to a serial ``run_suite``; a worker SIGKILLed
+mid-unit whose lease expires and whose unit is re-executed exactly once
+more; duplicate-delivery dedup; poison-unit quarantine with first-class
+``kind="poison"`` failure records; and coordinator kill/resume from the
+journal — including a torn trailing journal line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignCoordinator,
+    CampaignJournal,
+    CampaignServer,
+    CampaignSpec,
+    WorkUnit,
+    campaign_suite,
+    run_worker,
+    unit_graphs,
+)
+from repro.experiments.persistence import save_results
+from repro.experiments.runner import run_suite
+from repro.service.client import ServiceClient, ServiceError
+
+# A tiny two-cell campaign: 2 cells x 4 graphs = 8 graphs, unit_size=2
+# -> 4 units.  Small graphs keep the whole file fast.
+SPEC = CampaignSpec(
+    graphs_per_cell=4,
+    seed=1107,
+    n_tasks_range=(8, 14),
+    cells=((1, 2, (20, 100)), (3, 4, (20, 400))),
+    unit_size=2,
+)
+
+
+def _serial_bytes(tmp_path, spec=SPEC):
+    path = tmp_path / "serial.json"
+    save_results(
+        run_suite(campaign_suite(spec), None, seed=spec.seed, on_error="record"),
+        path,
+    )
+    return path.read_bytes()
+
+
+def _merged_bytes(tmp_path, coordinator):
+    path = tmp_path / "merged.json"
+    save_results(coordinator.merge(), path)
+    return path.read_bytes()
+
+
+# ----------------------------------------------------------------------
+# sharding
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_units_cover_suite_in_order(self):
+        units = SPEC.units()
+        assert [u.unit_id for u in units] == [f"u{i:05d}" for i in range(4)]
+        ids = [gid for u in units for gid in u.graph_ids()]
+        assert ids == [sg.graph_id for sg in campaign_suite(SPEC)]
+
+    def test_unit_digests_bind_spec(self):
+        other = CampaignSpec(
+            graphs_per_cell=4,
+            seed=SPEC.seed + 1,
+            n_tasks_range=SPEC.n_tasks_range,
+            cells=SPEC.cells,
+            unit_size=2,
+        )
+        ours = {u.digest for u in SPEC.units()}
+        theirs = {u.digest for u in other.units()}
+        assert not ours & theirs
+
+    def test_unit_graphs_match_serial_slice(self):
+        serial = campaign_suite(SPEC)
+        for unit in SPEC.units():
+            regenerated = unit_graphs(SPEC, unit)
+            expected = [sg for sg in serial if sg.graph_id in set(unit.graph_ids())]
+            assert [sg.graph_id for sg in regenerated] == [
+                sg.graph_id for sg in expected
+            ]
+            for a, b in zip(regenerated, expected):
+                assert a.graph.to_dict() == b.graph.to_dict()
+
+    def test_spec_round_trip_preserves_digest(self):
+        assert CampaignSpec.from_dict(SPEC.to_dict()).digest() == SPEC.digest()
+
+    def test_unit_round_trip(self):
+        unit = SPEC.units()[2]
+        assert WorkUnit.from_dict(unit.to_dict()) == unit
+
+
+# ----------------------------------------------------------------------
+# in-process end-to-end
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_three_workers_merge_byte_identical(self, tmp_path):
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl", lease_ttl=10.0)
+        server = CampaignServer(coord, ("127.0.0.1", 0))
+        server.start()
+        try:
+            threads = [
+                threading.Thread(
+                    target=run_worker,
+                    kwargs=dict(
+                        address=server.bound_address,
+                        worker_id=f"w{i}",
+                        patience=15.0,
+                    ),
+                )
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+        finally:
+            server.stop()
+        assert coord.done
+        assert _merged_bytes(tmp_path, coord) == _serial_bytes(tmp_path)
+        # every unit computed exactly once: no reschedules were needed
+        assert all(n == 1 for n in coord.attempts.values())
+
+    def test_status_and_health_verbs(self, tmp_path):
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl")
+        server = CampaignServer(coord, ("127.0.0.1", 0))
+        server.start()
+        try:
+            with ServiceClient(server.bound_address) as client:
+                health = client.call("health")
+                assert health["role"] == "campaign" and not health["done"]
+                status = client.call("campaign.status")
+                assert status["n_units"] == 4 and status["completed"] == 0
+                stats = client.call("stats")
+                assert stats["campaign"]["n_units"] == 4
+                with pytest.raises(ServiceError) as exc_info:
+                    client.call("schedule", {"heuristic": "HU"})
+                assert exc_info.value.code == 400
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# lease semantics
+# ----------------------------------------------------------------------
+class TestLeases:
+    def test_sigkill_mid_unit_reschedules_only_lost_unit(self, tmp_path):
+        """A worker killed -9 while holding a lease loses exactly that
+        unit; it is re-granted after expiry and the merge still matches
+        the serial run byte for byte."""
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl", lease_ttl=1.0)
+        server = CampaignServer(coord, ("127.0.0.1", 0))
+        server.start()
+        try:
+            host, port = server.bound_address
+            env = dict(
+                os.environ,
+                PYTHONPATH=os.pathsep.join(sys.path),
+                REPRO_CAMPAIGN_UNIT_DELAY="30",
+            )
+            victim = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "campaign", "worker",
+                    "--host", host, "--port", str(port), "--worker-id", "victim",
+                ],
+                env=env,
+            )
+            deadline = time.monotonic() + 20.0
+            while not coord.leases and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert coord.leases, "victim never leased a unit"
+            lost_unit = next(iter(coord.leases))
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=10.0)
+
+            # survivor finishes everything once the dead lease expires
+            run_worker(
+                address=server.bound_address, worker_id="survivor", patience=30.0
+            )
+        finally:
+            server.stop()
+        assert coord.done
+        assert coord.attempts[lost_unit] == 2  # granted to victim, then survivor
+        others = {u: n for u, n in coord.attempts.items() if u != lost_unit}
+        assert set(others.values()) == {1}
+        assert _merged_bytes(tmp_path, coord) == _serial_bytes(tmp_path)
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl", lease_ttl=0.3)
+        grant = coord.lease("w0")
+        uid = grant["unit"]["index"]
+        unit_id = f"u{uid:05d}"
+        for _ in range(4):
+            time.sleep(0.15)
+            assert coord.heartbeat("w0", unit_id)["ok"]
+            coord.expire_leases()
+        assert unit_id in coord.leases  # still held after 2x ttl of wall time
+        time.sleep(0.4)  # stop heartbeating: now it expires
+        coord.expire_leases()
+        assert unit_id not in coord.leases
+
+    def test_duplicate_delivery_deduplicated(self, tmp_path):
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl", lease_ttl=10.0)
+        grant = coord.lease("w0")
+        unit = WorkUnit.from_dict(grant["unit"])
+        result = run_suite(
+            unit_graphs(SPEC, unit), None, seed=SPEC.seed, on_error="record"
+        )
+        from repro.experiments.persistence import result_to_dict
+
+        payload = dict(
+            worker="w0",
+            unit_id=unit.unit_id,
+            digest=unit.digest,
+            results=[result_to_dict(r) for r in result],
+            failures=[],
+        )
+        first = coord.submit(**payload)
+        assert first["accepted"] and not first["duplicate"]
+        second = coord.submit(**dict(payload, worker="w1"))
+        assert not second["accepted"] and second["duplicate"]
+        # journal holds exactly one unit record
+        lines = (tmp_path / "c.jsonl").read_text().splitlines()
+        assert sum(1 for l in lines if json.loads(l)["type"] == "unit") == 1
+
+    def test_submit_digest_mismatch_rejected(self, tmp_path):
+        from repro.service.protocol import ProtocolError
+
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl")
+        unit = coord.units[0]
+        with pytest.raises(ProtocolError, match="digest mismatch"):
+            coord.submit("w0", unit.unit_id, "0" * 64, [], [])
+
+    def test_poison_unit_quarantined(self, tmp_path):
+        """A unit whose lease keeps expiring burns its attempt budget and
+        is quarantined with per-graph poison failure records."""
+        spec = CampaignSpec(
+            graphs_per_cell=2,
+            seed=SPEC.seed,
+            n_tasks_range=SPEC.n_tasks_range,
+            cells=(SPEC.cells[0],),
+            unit_size=2,
+            max_attempts=2,
+        )
+        clock = [0.0]
+        coord = CampaignCoordinator(
+            spec,
+            CampaignJournal(tmp_path / "c.jsonl"),
+            lease_ttl=1.0,
+            clock=lambda: clock[0],
+        )
+        coord.journal.write_header(spec)
+        for attempt in (1, 2):
+            grant = coord.lease("crashy")
+            assert grant["status"] == "granted" and grant["attempt"] == attempt
+            clock[0] += 2.0  # lease expires, no delivery
+        final = coord.lease("crashy")
+        assert final["status"] == "done"
+        assert coord.quarantined == {"u00000"}
+        merged = coord.merge()
+        assert len(merged) == 0
+        assert len(merged.failures) == 2  # one poison record per graph
+        assert {fr.kind for fr in merged.failures} == {"poison"}
+        assert all(fr.attempts == 2 for fr in merged.failures)
+        assert {fr.graph_id for fr in merged.failures} == set(
+            coord.units[0].graph_ids()
+        )
+
+    def test_quarantine_attempts_survive_coordinator_restart(self, tmp_path):
+        spec = CampaignSpec(
+            graphs_per_cell=2,
+            seed=SPEC.seed,
+            n_tasks_range=SPEC.n_tasks_range,
+            cells=(SPEC.cells[0],),
+            unit_size=2,
+            max_attempts=2,
+        )
+        clock = [0.0]
+        coord = CampaignCoordinator.create(spec, tmp_path / "c.jsonl", lease_ttl=1.0)
+        coord._clock = lambda: clock[0]
+        assert coord.lease("w0")["status"] == "granted"
+        # coordinator "crashes" here; the grant is journaled
+        coord2 = CampaignCoordinator(
+            spec,
+            CampaignJournal(tmp_path / "c.jsonl"),
+            lease_ttl=1.0,
+            state=CampaignJournal(tmp_path / "c.jsonl").load(),
+            clock=lambda: clock[0],
+        )
+        assert coord2.attempts == {"u00000": 1}
+        assert coord2.lease("w1")["attempt"] == 2
+        clock[0] += 2.0
+        assert coord2.lease("w1")["status"] == "done"  # quarantined, not re-granted
+        assert coord2.quarantined == {"u00000"}
+
+
+# ----------------------------------------------------------------------
+# coordinator crash / resume
+# ----------------------------------------------------------------------
+class TestResume:
+    def test_resume_from_journal_byte_identical(self, tmp_path):
+        journal = tmp_path / "c.jsonl"
+        coord = CampaignCoordinator.create(SPEC, journal, lease_ttl=5.0)
+        server = CampaignServer(coord, ("127.0.0.1", 0))
+        server.start()
+        try:
+            done = run_worker(
+                address=server.bound_address,
+                worker_id="w0",
+                patience=15.0,
+                max_units=2,
+            )
+        finally:
+            server.stop()
+        assert done == 2 and not coord.done
+
+        resumed = CampaignCoordinator.resume(journal, lease_ttl=5.0)
+        assert len(resumed.completed) == 2
+        server2 = CampaignServer(resumed, ("127.0.0.1", 0))
+        server2.start()
+        try:
+            run_worker(
+                address=server2.bound_address, worker_id="w1", patience=15.0
+            )
+        finally:
+            server2.stop()
+        assert resumed.done
+        # completed units were never re-granted
+        assert all(n == 1 for n in resumed.attempts.values())
+        assert _merged_bytes(tmp_path, resumed) == _serial_bytes(tmp_path)
+
+    def test_resume_tolerates_torn_trailing_line(self, tmp_path):
+        journal = tmp_path / "c.jsonl"
+        coord = CampaignCoordinator.create(SPEC, journal, lease_ttl=5.0)
+        server = CampaignServer(coord, ("127.0.0.1", 0))
+        server.start()
+        try:
+            run_worker(
+                address=server.bound_address,
+                worker_id="w0",
+                patience=15.0,
+                max_units=1,
+            )
+        finally:
+            server.stop()
+        # simulate a crash mid-append: truncate the last record in half
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[: len(raw) - len(raw.splitlines(True)[-1]) // 2])
+
+        resumed = CampaignCoordinator.resume(journal, lease_ttl=5.0)
+        # the torn unit record is discarded; its unit is simply redone
+        assert len(resumed.completed) == 0
+        server2 = CampaignServer(resumed, ("127.0.0.1", 0))
+        server2.start()
+        try:
+            run_worker(
+                address=server2.bound_address, worker_id="w1", patience=15.0
+            )
+        finally:
+            server2.stop()
+        assert resumed.done
+        assert _merged_bytes(tmp_path, resumed) == _serial_bytes(tmp_path)
+
+    def test_resume_requires_header(self, tmp_path):
+        path = tmp_path / "not-a-campaign.jsonl"
+        path.write_text('{"type": "grant", "v": 1, "unit_id": "u00000", '
+                        '"worker": "w", "attempt": 1}\n')
+        with pytest.raises(ValueError, match="no campaign header"):
+            CampaignCoordinator.resume(path)
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        CampaignCoordinator.create(SPEC, path)
+        with pytest.raises(ValueError, match="already exists"):
+            CampaignCoordinator.create(SPEC, path)
+
+    def test_journal_rejects_foreign_spec(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        coord = CampaignCoordinator.create(SPEC, path, lease_ttl=5.0)
+        other = CampaignSpec(
+            graphs_per_cell=1,
+            seed=2,
+            n_tasks_range=(8, 10),
+            cells=(SPEC.cells[0],),
+            unit_size=1,
+        )
+        # journal a completion for a unit the other spec doesn't have
+        grant = coord.lease("w0")
+        unit = WorkUnit.from_dict(grant["unit"])
+        result = run_suite(
+            unit_graphs(SPEC, unit), None, seed=SPEC.seed, on_error="record"
+        )
+        from repro.experiments.persistence import result_to_dict
+
+        coord.submit(
+            "w0",
+            unit.unit_id,
+            unit.digest,
+            [result_to_dict(r) for r in result],
+            [],
+        )
+        state = CampaignJournal(path).load()
+        # completing u00000 is fine for `other` structurally, but a spec
+        # with fewer units than the journal references must be refused
+        tiny = CampaignJournal(path).load()
+        tiny.completed = {"u00099": next(iter(state.completed.values()))}
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignCoordinator(other, CampaignJournal(path), state=tiny)
+
+
+# ----------------------------------------------------------------------
+# wire-protocol boundaries
+# ----------------------------------------------------------------------
+class TestProtocolBoundaries:
+    def test_campaign_ops_rejected_by_scheduling_daemon(self):
+        from repro.service import ServerThread
+
+        with ServerThread(port=0) as st:
+            with ServiceClient(st.address) as client:
+                with pytest.raises(ServiceError) as exc_info:
+                    client.call("campaign.lease", {"worker": "w0"})
+        assert exc_info.value.code == 400
+        assert "campaign coordinator" in exc_info.value.message
+
+    def test_unknown_campaign_verbs_still_rejected(self):
+        from repro.service.protocol import ProtocolError, decode_request
+
+        with pytest.raises(ProtocolError):
+            decode_request('{"op": "campaign.bogus", "params": {}}')

@@ -9,6 +9,7 @@ run produces results byte-identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
@@ -356,6 +357,47 @@ class TestCheckpointResume:
         run_suite(suite[:3], checkpoint=path)
         resumed = run_suite(suite, checkpoint=path, jobs=2)
         assert resumed == run_suite(suite)
+
+    def test_torn_mid_journal_line_skips_only_that_record(self, suite, tmp_path):
+        """A torn line *followed by* good records (a resumed run appended
+        after the fragment) loses only the torn record, not the tail."""
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:3], checkpoint=path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1][: len(lines[1]) // 2].rstrip() + "\n"  # tear record 2
+        path.write_text("".join(lines))
+        journaled, _ = CheckpointJournal(path).load()
+        assert len(journaled) == 2  # records 1 and 3 survive
+
+    def test_append_heals_missing_trailing_newline(self, suite, tmp_path):
+        """Appending after a torn final line must start on a fresh line, so
+        the next record is not corrupted by concatenation."""
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:1], checkpoint=path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "result", "v": 1, "da')  # torn, no newline
+        run_suite(suite[:2], checkpoint=path)  # resumes, appends graph 2
+        journaled, _ = CheckpointJournal(path).load()
+        assert len(journaled) == 2
+        # the file parses line-by-line with exactly one bad line
+        bad = 0
+        for line in path.read_text().splitlines():
+            try:
+                json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+        assert bad == 1
+
+    def test_resume_after_torn_line_byte_identical(self, suite, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        run_suite(suite[:4], checkpoint=path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "res')  # crash mid-append
+        resumed = run_suite(suite, checkpoint=path)
+        a, b = tmp_path / "resumed.json", tmp_path / "full.json"
+        save_results(resumed, a)
+        save_results(run_suite(suite), b)
+        assert a.read_bytes() == b.read_bytes()
 
 
 # ----------------------------------------------------------------------

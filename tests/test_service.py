@@ -147,6 +147,63 @@ class TestErrors:
         assert exc.value.code == 413
 
 
+class TestBackoffJitter:
+    def test_jittered_delay_within_envelope(self):
+        import random
+
+        from repro.service.client import backoff_delay
+
+        rng = random.Random(42)
+        for attempt in range(1, 8):
+            envelope = min(2.0, 0.05 * (2 ** (attempt - 1)))
+            for _ in range(50):
+                d = backoff_delay(0.05, attempt, rng=rng)
+                assert 0.0 <= d <= envelope
+
+    def test_jitter_decorrelates_clients(self):
+        import random
+
+        from repro.service.client import backoff_delay
+
+        rng = random.Random(7)
+        delays = {backoff_delay(0.05, 3, rng=rng) for _ in range(20)}
+        assert len(delays) > 1  # deterministic schedule would collapse to one
+
+    def test_no_jitter_restores_deterministic_schedule(self):
+        from repro.service.client import backoff_delay
+
+        assert [backoff_delay(0.05, k, jitter=False) for k in (1, 2, 3)] == [
+            0.05,
+            0.1,
+            0.2,
+        ]
+
+    def test_cap_bounds_growth(self):
+        from repro.service.client import backoff_delay
+
+        assert backoff_delay(0.05, 30, jitter=False, cap=0.5) == 0.5
+        assert backoff_delay(0.05, 30, cap=0.5) <= 0.5
+
+    def test_zero_base_never_sleeps(self):
+        from repro.service.client import backoff_delay
+
+        assert backoff_delay(0.0, 5) == 0.0
+
+    def test_backoff_ms_counter_reflects_actual_sleep(self):
+        from repro.obs.metrics import MetricsRegistry, use_registry
+
+        with use_registry(MetricsRegistry()) as reg:
+            client = ServiceClient(
+                ("127.0.0.1", 1), retries=2, backoff=0.01, jitter=True
+            )
+            with pytest.raises(ServiceError):
+                client.health()
+            slept_ms = reg.counter("client.backoff_ms")
+            # jittered: bounded by the sum of the two envelopes, not equal
+            assert 0.0 <= slept_ms <= (0.01 + 0.02) * 1e3
+            assert reg.counter("client.retries") == 2
+
+
 class TestOversizedFrames:
     def test_server_responds_413_then_closes(self):
         with ServerThread(port=0, max_frame_bytes=4096) as st:
