@@ -117,6 +117,13 @@ class CampaignCoordinator:
         self.completed: dict[str, UnitDelivery] = dict(state.completed)
         self.attempts: dict[str, int] = dict(state.attempts)
         self.quarantined: set[str] = set(state.quarantined)
+        # Completion always wins over quarantine (journal replay already
+        # enforces this; re-assert it here so a hand-built state cannot
+        # double-count a unit in _done_locked()).
+        self.quarantined -= set(self.completed)
+        #: unit_id -> worker holding the most recent grant (forensics for
+        #: quarantine records: the worker whose lease last burned).
+        self.last_worker: dict[str, str] = dict(state.last_worker)
         self.leases: dict[str, Lease] = {}
         self.workers: set[str] = set()
         # Journal replay may reference units that no longer exist only if
@@ -212,10 +219,11 @@ class CampaignCoordinator:
                     continue
                 attempts = self.attempts.get(uid, 0)
                 if attempts >= self.spec.max_attempts:
-                    self._quarantine_locked(unit, attempts, worker)
+                    self._quarantine_locked(unit, attempts)
                     continue
                 attempt = attempts + 1
                 self.attempts[uid] = attempt
+                self.last_worker[uid] = worker
                 self.journal.write_grant(uid, worker, attempt)
                 self.leases[uid] = Lease(
                     unit_id=uid,
@@ -293,10 +301,21 @@ class CampaignCoordinator:
                 )
             except (KeyError, TypeError, ValueError) as exc:
                 raise ProtocolError(f"malformed unit delivery: {exc}") from None
-            if len(delivery.results) + self._failed_graphs(delivery) < unit.n_graphs:
+            # Every unit graph must be accounted for — by a result or a
+            # whole-graph failure record — and by nothing else.  Matching
+            # exact graph-id sets (not just cardinality) keeps a buggy
+            # worker's duplicated or wrong-graph delivery from silently
+            # corrupting the byte-identical merge the digest check exists
+            # to guarantee.
+            delivered = {r.graph_id for r in delivery.results}
+            covered = delivered | {fr.graph_id for fr in delivery.failures}
+            expected = set(unit.graph_ids())
+            if len(delivery.results) != len(delivered) or covered != expected:
                 raise ProtocolError(
-                    f"unit {unit_id} delivery covers "
-                    f"{len(delivery.results)} graphs; expected {unit.n_graphs}"
+                    f"unit {unit_id} delivery graphs do not match the unit: "
+                    f"missing={sorted(expected - covered)} "
+                    f"unexpected={sorted(covered - expected)} "
+                    f"duplicates={len(delivery.results) - len(delivered)}"
                 )
             # Journal before acking: if we crash between the two, the
             # worker resubmits and lands in the duplicate branch above.
@@ -307,18 +326,6 @@ class CampaignCoordinator:
             registry.inc("campaign.units.completed")
             registry.inc("campaign.graphs.completed", float(len(delivery.results)))
             return {"accepted": True, "duplicate": False, "done": self._done_locked()}
-
-    @staticmethod
-    def _failed_graphs(delivery: UnitDelivery) -> int:
-        """Graphs represented only by whole-graph failure records."""
-        with_result = {r.graph_id for r in delivery.results}
-        return len(
-            {
-                fr.graph_id
-                for fr in delivery.failures
-                if fr.graph_id not in with_result
-            }
-        )
 
     def status(self) -> dict:
         """``campaign.status``: one self-describing progress snapshot."""
@@ -358,14 +365,20 @@ class CampaignCoordinator:
             )
         return len(expired)
 
-    def _quarantine_locked(self, unit: WorkUnit, attempts: int, worker: str) -> None:
-        self.journal.write_quarantine(unit.unit_id, attempts, worker)
+    def _quarantine_locked(self, unit: WorkUnit, attempts: int) -> None:
+        # Attribute the quarantine to the worker whose lease last burned,
+        # not whichever worker's lease request happened to trigger
+        # retirement — the latter is misleading forensics.
+        last_worker = self.last_worker.get(unit.unit_id, "?")
+        self.journal.write_quarantine(unit.unit_id, attempts, last_worker)
         self.quarantined.add(unit.unit_id)
         get_registry().inc("campaign.units.quarantined")
         self._log.error(
-            "unit %s quarantined as poison after %d attempts (graphs %s..%s)",
+            "unit %s quarantined as poison after %d attempts "
+            "(last lease held by %s; graphs %s..%s)",
             unit.unit_id,
             attempts,
+            last_worker,
             unit.graph_ids()[0],
             unit.graph_ids()[-1],
         )

@@ -88,7 +88,14 @@ class UnitDelivery:
 class CampaignState:
     """Everything :meth:`CampaignJournal.load` recovers from disk."""
 
-    __slots__ = ("spec", "digest", "completed", "attempts", "quarantined")
+    __slots__ = (
+        "spec",
+        "digest",
+        "completed",
+        "attempts",
+        "quarantined",
+        "last_worker",
+    )
 
     def __init__(self) -> None:
         self.spec: CampaignSpec | None = None
@@ -99,6 +106,8 @@ class CampaignState:
         self.attempts: dict[str, int] = {}
         #: unit ids retired as poison.
         self.quarantined: set[str] = set()
+        #: unit_id -> worker of the most recent grant (quarantine forensics).
+        self.last_worker: dict[str, str] = {}
 
 
 class CampaignJournal:
@@ -162,7 +171,10 @@ class CampaignJournal:
         A duplicate ``unit`` record (possible if a crash landed between
         journaling and acking, then the worker redelivered to a resumed
         coordinator) keeps the *first* occurrence, matching the live
-        coordinator's first-delivery-wins rule.
+        coordinator's first-delivery-wins rule.  A ``unit`` record after
+        a ``quarantine`` record (a straggler delivery accepted post-
+        quarantine) wins over the quarantine, again matching the live
+        state machine.
         """
         state = CampaignState()
         if not self.path.exists():
@@ -183,9 +195,17 @@ class CampaignJournal:
                     state.attempts[uid] = max(
                         state.attempts.get(uid, 0), int(obj["attempt"])
                     )
+                    state.last_worker[uid] = obj.get("worker", "?")
                 elif kind == "unit":
                     delivery = UnitDelivery.from_dict(obj)
                     state.completed.setdefault(delivery.unit_id, delivery)
+                    # A straggler delivery accepted *after* quarantine
+                    # un-quarantines the unit in the live coordinator
+                    # (submit accepts any incomplete unit); replay must
+                    # agree, or the unit counts as both completed and
+                    # quarantined and a resumed campaign declares done
+                    # with other units never computed.
+                    state.quarantined.discard(delivery.unit_id)
                 elif kind == "quarantine":
                     state.quarantined.add(obj["unit_id"])
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):

@@ -673,6 +673,34 @@ def _spawn_local_workers(
     return [subprocess.Popen(argv) for _ in range(n)]
 
 
+def _reap_local_workers(workers: list, *, force: bool) -> None:
+    """Collect local worker subprocesses without leaving zombies.
+
+    ``force`` (the interrupt path) terminates everyone up front instead
+    of politely waiting — Ctrl-C must not stall 10s per worker.  The
+    wait budget is a single shared deadline across all workers, and
+    every terminate/kill is followed by a wait so the child is reaped.
+    """
+    import subprocess
+    import time
+
+    if force:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+    deadline = time.monotonic() + (2.0 if force else 10.0)
+    for proc in workers:
+        try:
+            proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
 def _campaign_serve(coordinator, args: argparse.Namespace) -> int:
     """Shared tail of ``campaign run`` and ``campaign resume``: serve the
     coordinator until the campaign completes, reap local workers, merge."""
@@ -685,6 +713,7 @@ def _campaign_serve(coordinator, args: argparse.Namespace) -> int:
     workers = _spawn_local_workers(
         args.local_workers, server.bound_address, args.jobs
     )
+    interrupted = False
     try:
         # The grace window keeps the socket answering briefly after the
         # last unit merges, so workers mid-retry (e.g. resubmitting a
@@ -692,19 +721,17 @@ def _campaign_serve(coordinator, args: argparse.Namespace) -> int:
         # campaign is done instead of exhausting their patience budget.
         server.serve_until_done(grace=max(3.0, args.lease_ttl))
     except KeyboardInterrupt:
+        interrupted = True
         print(
             f"interrupted; resume with: repro campaign resume "
             f"--journal {coordinator.journal.path}",
             file=sys.stderr,
         )
-        return 130
     finally:
-        for proc in workers:
-            try:
-                proc.wait(timeout=10.0)
-            except Exception:
-                proc.terminate()
+        _reap_local_workers(workers, force=interrupted)
         server.stop()
+    if interrupted:
+        return 130
     merged = coordinator.merge()
     status = coordinator.status()
     print(

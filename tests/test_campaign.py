@@ -243,6 +243,32 @@ class TestLeases:
         with pytest.raises(ProtocolError, match="digest mismatch"):
             coord.submit("w0", unit.unit_id, "0" * 64, [], [])
 
+    def test_submit_wrong_graphs_rejected(self, tmp_path):
+        """A delivery whose graph-id set does not exactly match the
+        unit's graphs is a protocol error, even when the cardinality
+        happens to line up (duplicated result masking a missing one)."""
+        from repro.experiments.persistence import result_to_dict
+        from repro.service.protocol import ProtocolError
+
+        coord = CampaignCoordinator.create(SPEC, tmp_path / "c.jsonl")
+        grant = coord.lease("w0")
+        unit = WorkUnit.from_dict(grant["unit"])
+        result = run_suite(
+            unit_graphs(SPEC, unit), None, seed=SPEC.seed, on_error="record"
+        )
+        payload = [result_to_dict(r) for r in result]
+        # same length as the unit, but one graph duplicated / one missing
+        bogus = [payload[0]] * len(payload)
+        with pytest.raises(ProtocolError, match="do not match"):
+            coord.submit("w0", unit.unit_id, unit.digest, bogus, [])
+        # results from a different unit: right count, wrong graph ids
+        other = WorkUnit.from_dict(coord.lease("w0")["unit"])
+        with pytest.raises(ProtocolError, match="do not match"):
+            coord.submit("w0", other.unit_id, other.digest, payload, [])
+        assert not coord.completed  # nothing corrupt was merged
+        valid = coord.submit("w0", unit.unit_id, unit.digest, payload, [])
+        assert valid["accepted"]
+
     def test_poison_unit_quarantined(self, tmp_path):
         """A unit whose lease keeps expiring burns its attempt budget and
         is quarantined with per-graph poison failure records."""
@@ -266,9 +292,18 @@ class TestLeases:
             grant = coord.lease("crashy")
             assert grant["status"] == "granted" and grant["attempt"] == attempt
             clock[0] += 2.0  # lease expires, no delivery
-        final = coord.lease("crashy")
+        # an innocent bystander's lease request triggers retirement; the
+        # quarantine must still be attributed to the worker whose lease
+        # last burned, not the bystander
+        final = coord.lease("bystander")
         assert final["status"] == "done"
         assert coord.quarantined == {"u00000"}
+        quarantine_records = [
+            json.loads(l)
+            for l in (tmp_path / "c.jsonl").read_text().splitlines()
+            if json.loads(l)["type"] == "quarantine"
+        ]
+        assert [q["worker"] for q in quarantine_records] == ["crashy"]
         merged = coord.merge()
         assert len(merged) == 0
         assert len(merged.failures) == 2  # one poison record per graph
@@ -372,6 +407,66 @@ class TestResume:
             server2.stop()
         assert resumed.done
         assert _merged_bytes(tmp_path, resumed) == _serial_bytes(tmp_path)
+
+    def test_straggler_delivery_after_quarantine_survives_resume(self, tmp_path):
+        """A late delivery un-quarantines a unit in the live coordinator;
+        journal replay must agree.  (Regression: replay used to keep the
+        unit in *both* completed and quarantined, so a resumed campaign
+        double-counted it in done() and could declare victory with other
+        units never computed — silently dropped from the merge.)"""
+        from repro.experiments.persistence import result_to_dict
+
+        spec = CampaignSpec(
+            graphs_per_cell=4,
+            seed=SPEC.seed,
+            n_tasks_range=SPEC.n_tasks_range,
+            cells=(SPEC.cells[0],),
+            unit_size=2,
+            max_attempts=1,
+        )  # two units
+        journal = tmp_path / "c.jsonl"
+        clock = [0.0]
+        coord = CampaignCoordinator.create(spec, journal, lease_ttl=1.0)
+        coord._clock = lambda: clock[0]
+        unit = WorkUnit.from_dict(coord.lease("slow")["unit"])
+        clock[0] += 2.0  # slow's lease expires with no delivery
+        # the next lease call retires u00000 (attempt budget burned) and
+        # grants u00001
+        unit2 = WorkUnit.from_dict(coord.lease("w1")["unit"])
+        assert coord.quarantined == {unit.unit_id}
+        # the straggler finally delivers the quarantined unit
+        result = run_suite(
+            unit_graphs(spec, unit), None, seed=spec.seed, on_error="record"
+        )
+        accepted = coord.submit(
+            "slow",
+            unit.unit_id,
+            unit.digest,
+            [result_to_dict(r) for r in result],
+            [],
+        )
+        assert accepted["accepted"] and unit.unit_id not in coord.quarantined
+        assert not coord.done  # u00001 still pending
+
+        # coordinator restart: replay must match the live state machine
+        resumed = CampaignCoordinator.resume(journal, lease_ttl=5.0)
+        assert unit.unit_id in resumed.completed
+        assert unit.unit_id not in resumed.quarantined
+        assert not resumed.done  # the bug double-counted u00000 here
+        result2 = run_suite(
+            unit_graphs(spec, unit2), None, seed=spec.seed, on_error="record"
+        )
+        resumed.submit(
+            "w2",
+            unit2.unit_id,
+            unit2.digest,
+            [result_to_dict(r) for r in result2],
+            [],
+        )
+        assert resumed.done
+        # the merge is complete and byte-identical — no unit silently
+        # missing, no poison records for a unit that was delivered
+        assert _merged_bytes(tmp_path, resumed) == _serial_bytes(tmp_path, spec)
 
     def test_resume_requires_header(self, tmp_path):
         path = tmp_path / "not-a-campaign.jsonl"
