@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Performance baseline for the batched SoA kernels (PR: graph batching).
+
+Measures :mod:`repro.core.batch` against the per-graph kernel paths —
+pooled level sweeps, batched classification, and the end-to-end serial
+Table-1 suite with batching on vs off — and writes ``BENCH_batch.json``,
+the tracked baseline later PRs are measured against.  See
+:mod:`repro.experiments.batchbench` for what each section times.
+
+Equivalence is a hard bound in every mode: levels and granularities must
+be bitwise equal, serialized suite results byte-identical.  Speedup
+floors (ratios, so machine-independent) are enforced with ``--check``:
+the full levels floor is the PR's acceptance target (>= 3.5x batched
+level computation on a 64-graph cell); the end-to-end floor is an
+anti-regression bound (batching must not slow the suite down).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py                 # full baseline
+    PYTHONPATH=src python benchmarks/bench_batch.py --quick --check # CI smoke
+
+Exit codes: 0 ok; 1 equivalence broken; 2 speedup floor missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.batchbench import (
+    FULL_FLOORS,
+    QUICK_FLOORS,
+    SEED,
+    floor_violations,
+    run_benchmark,
+)
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer reps / smaller suite for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the speedup floors (always enforced on full runs)",
+    )
+    parser.add_argument(
+        "--graphs-per-cell",
+        type=int,
+        default=None,
+        help="override end-to-end suite size (default: 2 quick, 4 full)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(OUT_DIR / "BENCH_batch.json"),
+        help="baseline JSON path (only written on full runs unless --force-write)",
+    )
+    parser.add_argument(
+        "--force-write",
+        action="store_true",
+        help="write the baseline JSON even in --quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"batch benchmark ({mode}), seed {SEED}", flush=True)
+    payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
+
+    lv, cl, e2e = payload["levels"], payload["classify"], payload["end_to_end"]
+    print(
+        f"levels     ({lv['n_graphs']} graphs, {lv['n_nodes']} nodes): "
+        f"per-graph {lv['per_graph_ms']:.3f}ms batch {lv['batch_ms']:.3f}ms "
+        f"(+{lv['pack_ms']:.3f}ms pack, amortized) -> {lv['speedup']:.2f}x "
+        f"({lv['allin_speedup']:.2f}x all-in)  identical={lv['identical']}"
+    )
+    print(
+        f"classify   ({cl['n_graphs']} graphs): per-graph {cl['per_graph_ms']:.3f}ms "
+        f"batch {cl['batch_ms']:.3f}ms -> {cl['speedup']:.2f}x  "
+        f"identical={cl['identical']}"
+    )
+    print(
+        f"end-to-end ({e2e['n_graphs']} graphs x {len(e2e['heuristics'])} "
+        f"heuristics): unbatched {e2e['unbatched_wall_s']:.3f}s "
+        f"batched {e2e['batched_wall_s']:.3f}s -> {e2e['speedup']:.2f}x  "
+        f"identical={e2e['identical']}"
+    )
+    obs = e2e["obs"]
+    print(
+        f"batch obs: {obs['batches']:.0f} batch(es), "
+        f"{obs['batched_graphs']:.0f} graphs analyzed, "
+        f"{obs['already_primed']:.0f} already primed"
+    )
+
+    if not args.quick or args.force_write:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote baseline to {out}")
+
+    if not (lv["identical"] and cl["identical"] and e2e["identical"]):
+        print("FAIL: batched results diverge from the per-graph paths", file=sys.stderr)
+        return 1
+    if args.check or not args.quick:
+        floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+        missed = floor_violations(payload, floors)
+        if missed:
+            for line in missed:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

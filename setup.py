@@ -1,3 +1,8 @@
+"""Legacy-installer shim.  All metadata — including the runtime
+dependencies ``numpy`` and ``networkx`` — lives in ``pyproject.toml``'s
+``[project]`` table; setuptools reads it from there.  ``repro.core.batch``
+degrades to the per-graph kernel paths if numpy is somehow absent."""
+
 from setuptools import setup
 
 setup()

@@ -8,7 +8,7 @@ Subcommands::
     repro-sched experiment --graphs-per-cell 4 [--tables 2,3,4] [--figures 1,2]
     repro-sched workload  fft --param 3 -o fft.json
     repro-sched stats     <results.json | trace.jsonl>
-    repro-sched bench     kernels|track [--quick] [--check]
+    repro-sched bench     kernels|batch|track [--quick] [--check]
     repro-sched serve     [--port 29267 | --socket PATH] [--workers 2]
     repro-sched submit    <graph.json> --heuristic DSC [--json] [--deadline-ms 250]
     repro-sched top       [--host H --port P | --socket PATH] [--interval 2]
@@ -462,27 +462,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             label=args.label,
         )
 
-    from .experiments.kernelbench import (
-        FULL_FLOORS,
-        QUICK_FLOORS,
-        floor_violations,
-        run_benchmark,
-    )
+    if args.target == "batch":
+        from .experiments.batchbench import (
+            FULL_FLOORS,
+            QUICK_FLOORS,
+            floor_violations,
+            run_benchmark,
+        )
+    else:
+        from .experiments.kernelbench import (
+            FULL_FLOORS,
+            QUICK_FLOORS,
+            floor_violations,
+            run_benchmark,
+        )
 
     payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
-    lv, sim, e2e = payload["levels"], payload["simulator"], payload["end_to_end"]
-    print(f"levels     : {lv['speedup']:6.2f}x  identical={lv['identical']}")
-    print(f"simulator  : {sim['speedup']:6.2f}x  identical={sim['identical']}")
-    print(f"end-to-end : {e2e['speedup']:6.2f}x  identical={e2e['identical']}")
+    sections = (
+        ("levels", "classify", "end_to_end")
+        if args.target == "batch"
+        else ("levels", "simulator", "end_to_end")
+    )
+    for name in sections:
+        sec = payload[name]
+        print(f"{name:<11s}: {sec['speedup']:6.2f}x  identical={sec['identical']}")
 
     if not args.check:
-        out = Path(args.out)
+        out = Path(args.out or f"benchmarks/out/BENCH_{args.target}.json")
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=1) + "\n")
         print(f"pinned baseline to {out}")
 
-    if not (lv["identical"] and sim["identical"] and e2e["identical"]):
-        print("FAIL: kernel results diverge from the dict paths", file=sys.stderr)
+    if not all(payload[name]["identical"] for name in sections):
+        print(
+            "FAIL: optimized results diverge from the reference paths",
+            file=sys.stderr,
+        )
         return 1
     if args.check:
         floors = QUICK_FLOORS if args.quick else FULL_FLOORS
@@ -948,9 +963,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "target",
-        choices=["kernels", "track"],
+        choices=["kernels", "batch", "track"],
         help="which benchmark action to run (kernels: indexed vs dict hot "
-        "paths; track: record/check the BENCH_history.jsonl perf ledger)",
+        "paths; batch: pooled SoA sweeps vs per-graph kernels; track: "
+        "record/check the BENCH_history.jsonl perf ledger)",
     )
     p.add_argument(
         "--quick", action="store_true", help="small sizes for smoke runs"
@@ -964,8 +980,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graphs-per-cell", type=int, default=None)
     p.add_argument(
         "--out",
-        default="benchmarks/out/BENCH_kernels.json",
-        help="baseline JSON path to pin (default: %(default)s)",
+        default=None,
+        help="baseline JSON path to pin "
+        "(default: benchmarks/out/BENCH_<target>.json)",
     )
     p.add_argument(
         "--tolerance",

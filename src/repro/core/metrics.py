@@ -42,7 +42,16 @@ def granularity(graph: TaskGraph) -> float:
     paper.  A non-sink task whose heaviest outgoing edge has zero weight would
     make the ratio infinite; since the generator never produces zero-weight
     edges we treat it as an error rather than returning ``inf`` silently.
+
+    Memoized per graph version under ``"metrics.granularity"`` — the key
+    :func:`repro.core.batch.batch_analyze` primes with a bitwise-identical
+    vectorized computation (graphs where the value is undefined are never
+    primed, so the errors above still raise here on demand).
     """
+    return graph.cached("metrics.granularity", lambda: _granularity(graph))
+
+
+def _granularity(graph: TaskGraph) -> float:
     terms: list[float] = []
     for t in graph.tasks():
         out = graph.out_edges(t)

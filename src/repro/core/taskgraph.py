@@ -103,6 +103,14 @@ class TaskGraph:
                 value = self._scratch[key] = compute()
                 return value
 
+    def has_cached(self, key: Hashable) -> bool:
+        """Whether ``key`` is currently memoized (lock-free probe).
+
+        Lets batch producers (:func:`repro.core.batch.batch_analyze`) skip
+        graphs whose analyses are already primed without recomputing them.
+        """
+        return key in self._scratch
+
     def uncache(self, key: Hashable) -> None:
         """Drop one memoized entry (no-op if absent).
 
@@ -310,8 +318,13 @@ class TaskGraph:
         return [t for t in self._weight if not self._succ[t]]
 
     def serial_time(self) -> float:
-        """Total work — execution time on a single processor (paper section 4)."""
-        return sum(self._weight.values())
+        """Total work — execution time on a single processor (paper section 4).
+
+        Memoized per graph version under ``"serial_time"`` — the key
+        :func:`repro.core.batch.batch_analyze` primes with a per-graph
+        Python left-fold sum, bitwise-identical to this one.
+        """
+        return self.cached("serial_time", lambda: sum(self._weight.values()))
 
     # ------------------------------------------------------------------
     # structure

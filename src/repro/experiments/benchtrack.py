@@ -80,6 +80,12 @@ TRACKED: tuple[TrackedMetric, ...] = (
     TrackedMetric("BENCH_kernels.json", "levels/speedup", "higher", rel_tol=0.35),
     TrackedMetric("BENCH_kernels.json", "simulator/speedup", "higher", rel_tol=0.35),
     TrackedMetric("BENCH_kernels.json", "end_to_end/speedup", "higher", rel_tol=0.35),
+    TrackedMetric("BENCH_batch.json", "levels/speedup", "higher", rel_tol=0.35),
+    TrackedMetric("BENCH_batch.json", "classify/speedup", "higher", rel_tol=0.35),
+    # The batched end-to-end ratio hovers near 1 (levels are a small slice
+    # of suite wall time) — the band is absolute, guarding "batching slowed
+    # the suite down", not a speedup promise.
+    TrackedMetric("BENCH_batch.json", "end_to_end/speedup", "higher", abs_tol=0.25),
     TrackedMetric("BENCH_perf_suite.json", "speedup", "higher", rel_tol=0.35),
     TrackedMetric(
         "BENCH_service.json", "rate_ladder/-1/throughput_rps", "higher", rel_tol=0.40

@@ -56,10 +56,12 @@ SEED = 19940815
 PAPER_HEURISTICS = ["CLANS", "DSC", "MCP", "MH", "HU"]
 
 #: Minimum speedup ratios enforced by ``--check``.  Quick floors leave
-#: headroom for noisy CI runners; full floors are the PR's acceptance
-#: targets (>= 3x micro, >= 2x end to end).
-QUICK_FLOORS = {"levels": 2.0, "simulator": 1.5, "end_to_end": 1.2}
-FULL_FLOORS = {"levels": 3.0, "simulator": 3.0, "end_to_end": 2.0}
+#: headroom for noisy CI runners; full floors track the recorded
+#: baselines (levels 5.6x, simulator 3.6x, end to end 2.4x in
+#: ``BENCH_kernels.json``) with a wide noise margin.  Raised after the
+#: batch layer landed (ROADMAP: "raise the CI perf-smoke floors").
+QUICK_FLOORS = {"levels": 2.5, "simulator": 1.8, "end_to_end": 1.4}
+FULL_FLOORS = {"levels": 3.5, "simulator": 3.0, "end_to_end": 2.2}
 
 
 def _micro_graph(quick: bool):

@@ -35,6 +35,7 @@ import inspect
 from collections.abc import Callable, Iterable, Sequence
 from time import perf_counter, sleep
 
+from ..core.batch import batch_analyze, batch_enabled
 from ..core.exceptions import ReproError
 from ..core.metrics import granularity
 from ..core.taskgraph import TaskGraph
@@ -329,6 +330,40 @@ def _make_policy(
     )
 
 
+#: Graphs per vectorized pre-analysis batch in the serial suite path.
+#: Large enough to amortize the pack's fixed numpy-call overhead (the
+#: batched sweeps only win clearly past ~128 pooled graphs), small enough
+#: that buffering a lazy suite generator this far ahead stays cheap.
+PREBATCH_CHUNK = 256
+
+
+def _iter_prebatched(
+    suite: Iterable[SuiteGraph], completed: dict
+) -> Iterable[SuiteGraph]:
+    """Yield the suite unchanged, batch-analyzing ``PREBATCH_CHUNK`` ahead.
+
+    Each chunk's graphs get their level/classification memos primed by one
+    vectorized :func:`~repro.core.batch.batch_analyze` pass (checkpointed
+    graphs are skipped — their results are replayed, not recomputed), so
+    the per-graph evaluation below runs against warm caches.  Results are
+    byte-identical: the batch primes exactly the values the lazy kernels
+    would compute, and graphs it cannot handle (e.g. cyclic) are left for
+    the per-graph path to fail on with its usual error handling.
+    """
+    buf: list[SuiteGraph] = []
+    for sg in suite:
+        buf.append(sg)
+        if len(buf) >= PREBATCH_CHUNK:
+            batch_analyze(
+                [s.graph for s in buf if s.graph_id not in completed]
+            )
+            yield from buf
+            buf = []
+    if buf:
+        batch_analyze([s.graph for s in buf if s.graph_id not in completed])
+        yield from buf
+
+
 def run_suite(
     suite: Iterable[SuiteGraph],
     schedulers: Sequence[Scheduler] | None = None,
@@ -413,7 +448,8 @@ def run_suite(
     results = SuiteResult(failures=replayed if keep_records else ())
     results.n_failed = len(replayed)
     resumed = 0
-    for sg in suite:
+    suite_iter = _iter_prebatched(suite, completed) if batch_enabled() else suite
+    for sg in suite_iter:
         if sg.graph_id in completed:
             gr = completed[sg.graph_id]
             resumed += 1

@@ -297,6 +297,45 @@ class TestBatchingByDigest:
                 "service.index_cache.hits"
             ) <= 10
 
+    def test_distinct_graphs_prebatched_in_one_pass(self):
+        # pipeline distinct graphs; the dispatcher's prebatch pass must
+        # vectorize their analysis (counter fires) and every response must
+        # still be byte-identical to a direct library call
+        from repro.core.batch import use_batch
+        from repro.core.kernels import use_kernels
+
+        with ServerThread(port=0, threads=1, batch_max=32) as st:
+            graphs = [fork_join(k, stages=2) for k in range(3, 9)]
+
+            async def run():
+                from repro.service.client import AsyncServiceClient
+
+                async with AsyncServiceClient(st.address) as ac:
+                    before = await ac.stats()
+                    futs = [
+                        asyncio.ensure_future(ac.schedule(g, "HLFET"))
+                        for g in graphs
+                    ]
+                    results = await asyncio.gather(*futs)
+                    after = await ac.stats()
+                    return results, before, after
+
+            with use_kernels(True), use_batch(True):
+                results, before, after = asyncio.run(run())
+
+            def delta(key):
+                return after["counters"].get(key, 0) - before["counters"].get(key, 0)
+
+            # the first request may dispatch alone, but the rest of the
+            # burst queues behind the busy single-thread executor and is
+            # prebatched together on the next dispatch round
+            assert delta("service.batch.prebatched") >= 2
+            for g, got in zip(graphs, results):
+                expect = schedule_result(
+                    "HLFET", g, get_scheduler("HLFET").schedule(g)
+                )
+                assert wire.dumps(got) == wire.dumps(expect)
+
 
 class TestDrain:
     def test_zero_dropped_in_flight(self):
