@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Adversarial-search baseline (PR: adversarial scenario engine).
+
+Runs the fixed-seed DSC-vs-CLANS hunt from
+:mod:`repro.experiments.advbench` — a 200-step simulated-annealing search
+whose candidate scoring fans through ``repro.core.batch`` — and writes
+``BENCH_adversarial.json``, the tracked baseline later PRs are measured
+against (``adversarial/steps_per_s`` in the perf ledger).
+
+Quality is a hard bound in every mode because the whole pipeline is
+deterministic (seeded search over seeded generation, resolved ops,
+insertion-ordered encoding): ``--check`` enforces that the hunt's
+``best_gap`` clears its pinned floor AND strictly beats the max gap found
+on a random Table-1 testbed, and the discovered instance must replay from
+its ``(base spec, op log)`` recipe to the exact stored digest.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_adversarial.py                 # full baseline
+    PYTHONPATH=src python benchmarks/bench_adversarial.py --quick --check # CI smoke
+
+Exit codes: 0 ok; 1 replay broken; 2 gap floor missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.advbench import (
+    FULL_FLOORS,
+    QUICK_FLOORS,
+    SEED,
+    floor_violations,
+    run_benchmark,
+)
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller neighborhood / smaller testbed for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce the gap floors (always enforced on full runs)",
+    )
+    parser.add_argument(
+        "--graphs-per-cell",
+        type=int,
+        default=None,
+        help="override random-testbed size (default: 1 quick, 2 full)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(OUT_DIR / "BENCH_adversarial.json"),
+        help="baseline JSON path (only written on full runs unless --force-write)",
+    )
+    parser.add_argument(
+        "--force-write",
+        action="store_true",
+        help="write the baseline JSON even in --quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    print(f"adversarial benchmark ({mode}), seed {SEED}", flush=True)
+    payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
+
+    adv = payload["adversarial"]
+    print(
+        f"search   {adv['pair'][0]} vs {adv['pair'][1]} ({adv['objective']}, "
+        f"{adv['policy']}): {adv['steps']} steps x {adv['neighborhood']} "
+        f"candidates in {adv['wall_s']:.2f}s -> {adv['steps_per_s']:.1f} steps/s, "
+        f"{adv['accepted']} accepted, {adv['restarts']} restart(s)"
+    )
+    print(
+        f"quality  base gap {adv['base_gap']:.4f} -> best gap "
+        f"{adv['best_gap']:.4f} ({len(adv['base'])}-field base, "
+        f"{adv['op_log_len']} ops)"
+    )
+    print(
+        f"testbed  random max {adv['baseline_gap']:.4f} over "
+        f"{adv['baseline_graphs']} graphs ({adv['baseline_graph_id']}) "
+        f"-> beats_baseline={adv['beats_baseline']}"
+    )
+    print(
+        f"replay   digest {adv['digest'][:16]}... "
+        f"identical={adv['replay_identical']}"
+    )
+
+    if not args.quick or args.force_write:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"wrote baseline to {out}")
+
+    if not adv["replay_identical"]:
+        print(
+            "FAIL: replayed (base, op log) does not reproduce the instance digest",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check or not args.quick:
+        floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+        missed = floor_violations(payload, floors)
+        if missed:
+            for line in missed:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Adversarial scenario engine: search for scheduler-separating graphs.
+
+The paper compares its five heuristics on a fixed random testbed; this
+package hunts for the instances that testbed misses — graphs where one
+scheduler beats another by as much as possible (PISA, arxiv 2403.07120,
+shows such adversarially-found gaps dwarf random sampling's).  Three
+layers, each independently usable:
+
+* :mod:`~repro.adversarial.env` — seeded, replayable perturbation ops
+  over task graphs that provably preserve acyclicity;
+* :mod:`~repro.adversarial.objective` / :mod:`~repro.adversarial.search`
+  — pluggable scheduler-pair objectives maximized by greedy/restart and
+  simulated-annealing policies, scoring whole neighborhoods through the
+  pooled batch layer;
+* :mod:`~repro.adversarial.store` — digest-addressed persistence whose
+  ``promote`` step feeds verified instances back into the suite as the
+  ``adversarial`` graph class.
+
+CLI: ``repro adversarial search|replay|promote|list`` and
+``repro bench adversarial``.
+"""
+
+from .env import (
+    ALL_OPS,
+    MAX_WEIGHT,
+    MIN_WEIGHT,
+    Perturbation,
+    PerturbationEnv,
+    apply_op,
+    apply_op_log,
+)
+from .objective import (
+    OBJECTIVES,
+    MakespanRatio,
+    NSLGap,
+    Objective,
+    baseline_gap,
+    make_objective,
+)
+from .search import (
+    POLICIES,
+    AnnealingPolicy,
+    GreedyPolicy,
+    HuntResult,
+    SearchPolicy,
+    hunt,
+    make_policy,
+)
+from .store import (
+    DEFAULT_STORE_DIR,
+    InstanceRecord,
+    adversarial_suite_graphs,
+    build_base_graph,
+    find_instance,
+    instance_path,
+    list_instances,
+    load_instance,
+    promote,
+    replay,
+    save_instance,
+    verify_replay,
+    wire_record,
+)
+
+__all__ = [
+    "ALL_OPS",
+    "MIN_WEIGHT",
+    "MAX_WEIGHT",
+    "Perturbation",
+    "PerturbationEnv",
+    "apply_op",
+    "apply_op_log",
+    "OBJECTIVES",
+    "Objective",
+    "MakespanRatio",
+    "NSLGap",
+    "make_objective",
+    "baseline_gap",
+    "POLICIES",
+    "SearchPolicy",
+    "GreedyPolicy",
+    "AnnealingPolicy",
+    "HuntResult",
+    "hunt",
+    "make_policy",
+    "DEFAULT_STORE_DIR",
+    "InstanceRecord",
+    "instance_path",
+    "save_instance",
+    "load_instance",
+    "list_instances",
+    "find_instance",
+    "build_base_graph",
+    "replay",
+    "verify_replay",
+    "promote",
+    "adversarial_suite_graphs",
+    "wire_record",
+]

@@ -1,0 +1,319 @@
+"""Seeded, replayable perturbation environment over task graphs.
+
+The adversarial search (:mod:`repro.adversarial.search`) explores the
+neighborhood of a :class:`~repro.core.taskgraph.TaskGraph` through a small
+set of *perturbation ops*.  Every op is
+
+* **acyclicity-preserving by construction** — proposals only ever add an
+  edge ``u -> v`` where ``u`` precedes ``v`` in the current graph's
+  (deterministic, memoized) topological order, so a topological order of
+  the pre-op graph remains one of the post-op graph; :func:`apply_op`
+  independently re-checks the exact criterion (``u -> v`` creates a cycle
+  iff a directed path ``v -> u`` already exists), so even a hand-edited
+  op log cannot smuggle a cycle in;
+* **resolved** — an op records concrete task ids and weights, not random
+  state, so ``(base spec, op log)`` replays to the same graph bytes (and
+  therefore the same :func:`repro.core.wire.graph_digest`) on any machine;
+* **weight-safe** — new node/edge weights are clamped to
+  ``[MIN_WEIGHT, MAX_WEIGHT]``: always positive and finite, so section-3
+  granularity stays defined and :class:`TaskGraph`'s weight validation
+  never trips mid-search.
+
+Randomness: all sampling goes through one :class:`random.Random` handed to
+the environment — `numpy` is deliberately not used here so replay does not
+depend on numpy's bit-generator stability.  The environment only uses its
+rng in :meth:`PerturbationEnv.propose`; :func:`apply_op` is deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..core.exceptions import GraphError
+from ..core.taskgraph import Task, TaskGraph
+
+__all__ = [
+    "ALL_OPS",
+    "MIN_WEIGHT",
+    "MAX_WEIGHT",
+    "Perturbation",
+    "PerturbationEnv",
+    "apply_op",
+    "apply_op_log",
+]
+
+#: Smallest weight any op will write.  Strictly positive so granularity
+#: (node weight / max out-edge weight) stays finite and defined.
+MIN_WEIGHT = 1e-3
+#: Largest weight any op will write (stays comfortably finite).
+MAX_WEIGHT = 1e12
+
+#: Op names in the environment's default mix, i.e. the search's action set.
+ALL_OPS: tuple[str, ...] = (
+    "edge_reweight",
+    "node_reweight",
+    "rewire",
+    "granularity_shift",
+    "densify",
+    "sparsify",
+)
+
+#: One resolved perturbation: ``(op_name, *json_able_args)``.
+Perturbation = tuple
+
+
+def _clamp(w: float) -> float:
+    return min(max(float(w), MIN_WEIGHT), MAX_WEIGHT)
+
+
+def apply_op(graph: TaskGraph, op: Perturbation) -> None:
+    """Apply one resolved perturbation to ``graph`` in place.
+
+    Deterministic (no randomness) and validating: an op whose precondition
+    does not hold on ``graph`` — a missing edge, an unknown task, or an
+    edge addition that is not strictly forward in the current topological
+    order — raises :class:`~repro.core.exceptions.GraphError` instead of
+    silently corrupting the instance.  This is the single function both
+    the live search and :func:`replay <repro.adversarial.store.replay>`
+    go through, which is what makes the digest check meaningful.
+    """
+    kind = op[0]
+    if kind == "edge_reweight":
+        _, u, v, w = op
+        if not graph.has_edge(u, v):
+            raise GraphError(f"edge_reweight: no edge {u!r} -> {v!r}")
+        graph.add_edge(u, v, _check_op_weight(w))
+    elif kind == "node_reweight":
+        _, t, w = op
+        if t not in graph:
+            raise GraphError(f"node_reweight: unknown task {t!r}")
+        graph.add_task(t, _check_op_weight(w))
+    elif kind == "rewire":
+        _, u, v, u2, v2, w = op
+        if not graph.has_edge(u, v):
+            raise GraphError(f"rewire: no edge {u!r} -> {v!r}")
+        graph.remove_edge(u, v)
+        try:
+            _add_forward_edge(graph, u2, v2, _check_op_weight(w), "rewire")
+        except GraphError:
+            graph.add_edge(u, v, w)  # leave the graph untouched on failure
+            raise
+    elif kind == "granularity_shift":
+        _, target, factor = op
+        factor = float(factor)
+        if not factor > 0.0:
+            raise GraphError(f"granularity_shift: factor must be > 0, got {factor}")
+        if target == "nodes":
+            for t in graph.tasks():
+                graph.add_task(t, _clamp(graph.weight(t) * factor))
+        elif target == "edges":
+            for u, v in graph.edges():
+                graph.add_edge(u, v, _clamp(graph.edge_weight(u, v) * factor))
+        else:
+            raise GraphError(
+                f"granularity_shift: target must be 'nodes' or 'edges', got {target!r}"
+            )
+    elif kind == "densify":
+        _, u, v, w = op
+        _add_forward_edge(graph, u, v, _check_op_weight(w), "densify")
+    elif kind == "sparsify":
+        _, u, v = op
+        if graph.n_edges <= 1:
+            raise GraphError("sparsify: refusing to remove the last edge")
+        graph.remove_edge(u, v)
+    else:
+        raise GraphError(f"unknown perturbation op {kind!r}")
+
+
+def _check_op_weight(w: float) -> float:
+    wf = float(w)
+    if not (MIN_WEIGHT <= wf <= MAX_WEIGHT):
+        raise GraphError(
+            f"op weight {w!r} outside [{MIN_WEIGHT}, {MAX_WEIGHT}]"
+        )
+    return wf
+
+
+def _add_forward_edge(
+    graph: TaskGraph, u: Task, v: Task, w: float, what: str
+) -> None:
+    """Add ``u -> v`` after proving the addition keeps the graph acyclic.
+
+    Exact criterion: the new edge closes a cycle iff a directed path
+    ``v -> u`` already exists.  Proposals sample pairs forward in the
+    current topological order (a sound subset), but the check here is the
+    full one so replayed op logs are validated independently of any
+    particular order.
+    """
+    if u == v:
+        raise GraphError(f"{what}: self loop on {u!r}")
+    if u not in graph or v not in graph:
+        raise GraphError(f"{what}: unknown endpoint in {u!r} -> {v!r}")
+    if graph.has_edge(u, v):
+        raise GraphError(f"{what}: edge {u!r} -> {v!r} already exists")
+    if u in graph.descendants(v):
+        raise GraphError(
+            f"{what}: adding {u!r} -> {v!r} would close a cycle "
+            f"(path {v!r} -> {u!r} exists)"
+        )
+    graph.add_edge(u, v, w)
+
+
+def apply_op_log(graph: TaskGraph, op_log: Sequence[Perturbation]) -> TaskGraph:
+    """Apply a whole op log in place (ops are re-validated); returns ``graph``."""
+    for op in op_log:
+        apply_op(graph, tuple(op))
+    return graph
+
+
+@dataclass
+class PerturbationEnv:
+    """A mutable search state: current graph + the op log that produced it.
+
+    ``propose`` samples one resolved op that is valid on the *current*
+    graph; ``apply`` commits an op (mutating the graph and appending to
+    :attr:`op_log`); ``neighborhood`` materializes ``k`` candidate copies,
+    one proposed op each — the candidates share nothing with the current
+    graph, so scoring them cannot disturb the search state.  All sampling
+    draws from the single :class:`random.Random` given at construction;
+    with the same seed and the same accept decisions, two searches produce
+    identical op logs.
+    """
+
+    graph: TaskGraph
+    rng: random.Random
+    ops: tuple[str, ...] = ALL_OPS
+    op_log: list[Perturbation] = field(default_factory=list)
+    #: How many sampling attempts ``propose`` makes before giving up.
+    max_tries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.graph.n_tasks < 2 or self.graph.n_edges < 1:
+            raise GraphError(
+                "PerturbationEnv needs a base graph with >= 2 tasks and >= 1 edge"
+            )
+        unknown = set(self.ops) - set(ALL_OPS)
+        if unknown:
+            raise GraphError(f"unknown perturbation ops {sorted(unknown)}")
+        self.graph.validate()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def propose(self) -> Perturbation | None:
+        """One resolved op valid on the current graph (``None`` when the
+        graph offers no legal move for any sampled op kind)."""
+        for _ in range(self.max_tries):
+            kind = self.ops[self.rng.randrange(len(self.ops))]
+            op = getattr(self, f"_propose_{kind}")()
+            if op is not None:
+                return op
+        return None
+
+    def _jittered(self, current: float) -> float:
+        """A weight near ``current``: scaled by 2**U(-2, 2), clamped."""
+        return _clamp(current * 2.0 ** self.rng.uniform(-2.0, 2.0))
+
+    def _pick_edge(self) -> tuple[Task, Task] | None:
+        edges = self.graph.edges()
+        if not edges:
+            return None
+        return edges[self.rng.randrange(len(edges))]
+
+    def _propose_edge_reweight(self) -> Perturbation | None:
+        picked = self._pick_edge()
+        if picked is None:
+            return None
+        u, v = picked
+        return ("edge_reweight", u, v, self._jittered(self.graph.edge_weight(u, v)))
+
+    def _propose_node_reweight(self) -> Perturbation | None:
+        tasks = self.graph.tasks()
+        t = tasks[self.rng.randrange(len(tasks))]
+        return ("node_reweight", t, self._jittered(self.graph.weight(t)))
+
+    def _forward_pair(self) -> tuple[Task, Task] | None:
+        """A non-adjacent (u, v) with u strictly before v topologically."""
+        order = self.graph.topological_order()
+        n = len(order)
+        for _ in range(self.max_tries):
+            i = self.rng.randrange(n)
+            j = self.rng.randrange(n)
+            if i == j:
+                continue
+            if i > j:
+                i, j = j, i
+            u, v = order[i], order[j]
+            if not self.graph.has_edge(u, v):
+                return u, v
+        return None
+
+    def _propose_rewire(self) -> Perturbation | None:
+        # Proposing must not touch the live graph (a remove/re-add probe
+        # would silently permute edge insertion order, desynchronizing the
+        # op log from the graph bytes).  A pair forward in the *current*
+        # topological order stays safe after any edge removal — removing
+        # an edge never creates paths — so sampling on the intact graph is
+        # sound; it merely never proposes re-targeting onto the removed
+        # edge's own reversal.
+        picked = self._pick_edge()
+        if picked is None:
+            return None
+        u, v = picked
+        pair = self._forward_pair()
+        if pair is None or pair == (u, v):
+            return None
+        return ("rewire", u, v, pair[0], pair[1], self.graph.edge_weight(u, v))
+
+    def _propose_granularity_shift(self) -> Perturbation | None:
+        target = ("nodes", "edges")[self.rng.randrange(2)]
+        factor = 2.0 ** self.rng.uniform(-1.5, 1.5)
+        return ("granularity_shift", target, factor)
+
+    def _propose_densify(self) -> Perturbation | None:
+        pair = self._forward_pair()
+        if pair is None:
+            return None
+        weights = [self.graph.edge_weight(u, v) for u, v in self.graph.edges()]
+        lo, hi = min(weights), max(weights)
+        return ("densify", pair[0], pair[1], _clamp(self.rng.uniform(lo, hi)))
+
+    def _propose_sparsify(self) -> Perturbation | None:
+        if self.graph.n_edges <= 1:
+            return None
+        picked = self._pick_edge()
+        assert picked is not None
+        return ("sparsify", *picked)
+
+    # ------------------------------------------------------------------
+    # state transitions
+    # ------------------------------------------------------------------
+    def apply(self, op: Perturbation) -> None:
+        """Commit ``op``: mutate the current graph and extend the op log."""
+        apply_op(self.graph, op)
+        self.op_log.append(tuple(op))
+
+    def neighborhood(self, k: int) -> list[tuple[Perturbation, TaskGraph]]:
+        """Up to ``k`` candidate (op, perturbed copy) pairs.
+
+        Each candidate is an independent copy of the current graph with one
+        proposed op applied; the current graph is untouched.  Fewer than
+        ``k`` pairs come back when proposing stalls (tiny graphs).
+        """
+        out: list[tuple[Perturbation, TaskGraph]] = []
+        for _ in range(k):
+            op = self.propose()
+            if op is None:
+                break
+            candidate = self.graph.copy()
+            apply_op(candidate, op)
+            out.append((op, candidate))
+        return out
+
+    def reset(self, graph: TaskGraph) -> None:
+        """Restart from a fresh base: replaces the graph, clears the log."""
+        graph.validate()
+        self.graph = graph
+        self.op_log = []

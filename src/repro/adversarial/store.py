@@ -1,0 +1,273 @@
+"""Persistence + promotion for discovered adversarial instances.
+
+A discovered instance is stored as one JSON file under
+``results/adversarial/`` named ``adv-<digest16>.json``, where the digest is
+:func:`repro.core.wire.graph_digest` over the instance graph's canonical
+wire encoding — the same digest identity the service and campaign tiers
+key on.  The record carries *two* independent descriptions of the graph:
+
+* the wire encoding itself (what :func:`load_graph` and suite consumers
+  use), and
+* the recipe — ``base`` spec (regenerate the unperturbed graph from its
+  seed) plus the search's resolved ``op_log`` — from which :func:`replay`
+  rebuilds the graph from scratch.
+
+``replay(record).digest == record.digest`` is the store's integrity
+invariant: because perturbation ops are resolved and TaskGraph encoding is
+insertion-ordered, the rebuilt graph is byte-identical, so a truncated op
+log, a drifted generator, or a hand-edited graph is caught as a digest
+mismatch, not silently accepted.
+
+Promotion: instances are saved unpromoted; :func:`promote` flips the
+``promoted`` flag, and only promoted instances appear in the
+``adversarial`` suite class (:func:`adversarial_suite_graphs`, surfaced as
+:func:`repro.generation.suites.adversarial_suite`) that ``run_suite``,
+campaigns and the serving tier consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.exceptions import AdversarialError
+from ..core.metrics import anchor_out_degree, granularity, granularity_band
+from ..core.taskgraph import TaskGraph
+from ..core.wire import dumps, graph_digest, graph_to_wire
+from ..experiments.persistence import _atomic_write_text
+from ..generation.random_dag import generate_pdg
+from .env import Perturbation, apply_op_log
+
+__all__ = [
+    "FORMAT",
+    "VERSION",
+    "DEFAULT_STORE_DIR",
+    "InstanceRecord",
+    "instance_path",
+    "save_instance",
+    "load_instance",
+    "list_instances",
+    "find_instance",
+    "build_base_graph",
+    "replay",
+    "verify_replay",
+    "promote",
+    "adversarial_suite_graphs",
+]
+
+FORMAT = "repro-adversarial-instance"
+VERSION = 1
+
+#: Default store location, relative to the working directory (mirrors the
+#: ``results/`` convention of the experiment CLI).
+DEFAULT_STORE_DIR = Path("results") / "adversarial"
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One discovered instance: graph, recipe, and search provenance."""
+
+    digest: str
+    graph: dict[str, Any]  # canonical wire encoding
+    base: dict[str, Any]  # {"kind","seed","n_tasks","band","anchor","weight_range"}
+    op_log: list[Perturbation]
+    objective: dict[str, Any]  # Objective.describe()
+    gap: float
+    base_gap: float
+    search: dict[str, Any] = field(default_factory=dict)
+    baseline_gap: float | None = None
+    promoted: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": FORMAT,
+            "version": VERSION,
+            "digest": self.digest,
+            "graph": self.graph,
+            "base": self.base,
+            "op_log": [list(op) for op in self.op_log],
+            "objective": self.objective,
+            "gap": self.gap,
+            "base_gap": self.base_gap,
+            "baseline_gap": self.baseline_gap,
+            "search": self.search,
+            "promoted": self.promoted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "InstanceRecord":
+        if data.get("format") != FORMAT:
+            raise AdversarialError(
+                f"not an adversarial instance record: format={data.get('format')!r}"
+            )
+        if data.get("version") != VERSION:
+            raise AdversarialError(
+                f"unsupported instance record version {data.get('version')!r}"
+            )
+        return cls(
+            digest=data["digest"],
+            graph=data["graph"],
+            base=data["base"],
+            op_log=[tuple(op) for op in data["op_log"]],
+            objective=data["objective"],
+            gap=data["gap"],
+            base_gap=data["base_gap"],
+            baseline_gap=data.get("baseline_gap"),
+            search=data.get("search", {}),
+            promoted=bool(data.get("promoted", False)),
+        )
+
+
+def instance_path(store_dir: Path | str, digest: str) -> Path:
+    """The store path for a digest: ``<store>/adv-<digest16>.json``."""
+    return Path(store_dir) / f"adv-{digest[:16]}.json"
+
+
+def save_instance(store_dir: Path | str, record: InstanceRecord) -> Path:
+    """Atomically write ``record`` into the store; returns its path."""
+    store = Path(store_dir)
+    store.mkdir(parents=True, exist_ok=True)
+    path = instance_path(store, record.digest)
+    _atomic_write_text(path, json.dumps(record.to_dict(), indent=1) + "\n")
+    return path
+
+
+def load_instance(path: Path | str) -> InstanceRecord:
+    """Read one instance record back from its JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return InstanceRecord.from_dict(json.load(fh))
+
+
+def list_instances(
+    store_dir: Path | str = DEFAULT_STORE_DIR, *, promoted_only: bool = False
+) -> list[InstanceRecord]:
+    """All stored instances, sorted by file name (= digest prefix) so every
+    consumer — suites, campaigns, shards — sees one deterministic order."""
+    store = Path(store_dir)
+    if not store.is_dir():
+        return []
+    records = []
+    for name in sorted(os.listdir(store)):
+        if not (name.startswith("adv-") and name.endswith(".json")):
+            continue
+        record = load_instance(store / name)
+        if promoted_only and not record.promoted:
+            continue
+        records.append(record)
+    return records
+
+
+def find_instance(
+    store_dir: Path | str, digest_prefix: str
+) -> tuple[Path, InstanceRecord]:
+    """Locate one instance by (a unique prefix of) its digest."""
+    matches = [
+        r for r in list_instances(store_dir)
+        if r.digest.startswith(digest_prefix)
+    ]
+    if not matches:
+        raise AdversarialError(
+            f"no instance matching {digest_prefix!r} in {store_dir}"
+        )
+    if len(matches) > 1:
+        raise AdversarialError(
+            f"digest prefix {digest_prefix!r} is ambiguous in {store_dir}"
+        )
+    record = matches[0]
+    return instance_path(store_dir, record.digest), record
+
+
+def build_base_graph(base: dict[str, Any]) -> TaskGraph:
+    """Regenerate the unperturbed base graph from its spec."""
+    if base.get("kind") != "pdg":
+        raise AdversarialError(f"unknown base kind {base.get('kind')!r}")
+    return generate_pdg(
+        np.random.default_rng(int(base["seed"])),
+        n_tasks=int(base["n_tasks"]),
+        band=int(base["band"]),
+        anchor=int(base["anchor"]),
+        weight_range=tuple(base["weight_range"]),
+    )
+
+
+def replay(record: InstanceRecord) -> TaskGraph:
+    """Rebuild the instance graph from scratch: base spec + op log."""
+    return apply_op_log(build_base_graph(record.base), record.op_log)
+
+
+def verify_replay(record: InstanceRecord) -> str:
+    """Replay and digest-check; returns the digest, raises on mismatch."""
+    got = graph_digest(graph_to_wire(replay(record)))
+    if got != record.digest:
+        raise AdversarialError(
+            f"replay digest mismatch: stored {record.digest[:16]}..., "
+            f"replayed {got[:16]}..."
+        )
+    return got
+
+
+def promote(store_dir: Path | str, digest_prefix: str) -> InstanceRecord:
+    """Replay-verify an instance, then mark it promoted (idempotent).
+
+    Verification before promotion is deliberate: only instances whose
+    recipe provably rebuilds their graph enter the shared testbed.
+    """
+    path, record = find_instance(store_dir, digest_prefix)
+    verify_replay(record)
+    if not record.promoted:
+        record = replace(record, promoted=True)
+        _atomic_write_text(path, json.dumps(record.to_dict(), indent=1) + "\n")
+    return record
+
+
+def adversarial_suite_graphs(
+    store_dir: Path | str = DEFAULT_STORE_DIR, *, promoted_only: bool = True
+) -> list:
+    """Promoted instances as suite graphs (the ``adversarial`` graph class).
+
+    Each instance is decoded from its stored wire encoding (no replay on
+    the consumption path — that is ``promote``'s job), digest-checked, and
+    classified into a Table-1 style cell from its *realized* metrics, with
+    the base cell as fallback where a metric is undefined.  Import is
+    deferred to break the generation -> adversarial -> generation cycle.
+    """
+    from ..generation.suites import AdversarialGraph, SuiteCell
+
+    out = []
+    for record in list_instances(store_dir, promoted_only=promoted_only):
+        graph = TaskGraph.from_dict(record.graph)
+        got = graph_digest(graph_to_wire(graph))
+        if got != record.digest:
+            raise AdversarialError(
+                f"stored graph does not match its digest "
+                f"({record.digest[:16]}...)"
+            )
+        try:
+            band = granularity_band(granularity(graph))
+        except Exception:
+            band = int(record.base["band"])
+        try:
+            anchor = anchor_out_degree(graph)
+        except Exception:
+            anchor = int(record.base["anchor"])
+        anchor = max(1, anchor)
+        lo, hi = record.base["weight_range"]
+        cell = SuiteCell(band=band, anchor=anchor, weight_range=(int(lo), int(hi)))
+        out.append(AdversarialGraph(cell=cell, index=0, graph=graph, digest=record.digest))
+    return out
+
+
+def wire_record(graph: TaskGraph) -> tuple[dict[str, Any], str]:
+    """Canonical ``(wire, digest)`` pair for ``graph`` (search's save path)."""
+    wire = graph_to_wire(graph)
+    return wire, graph_digest(wire)
+
+
+def _canonical_bytes(record: InstanceRecord) -> bytes:
+    """The record's canonical encoding (used by tests for byte-identity)."""
+    return dumps(record.to_dict()).encode("utf-8")

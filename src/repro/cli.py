@@ -221,6 +221,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "timeout": args.timeout,
             "retries": args.retries,
             "checkpoint": args.checkpoint,
+            "adversarial": args.adversarial,
         },
     )
     with _trace_run(args.trace), _profile_run(
@@ -238,6 +239,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                         n_tasks_range=(args.nmin, args.nmax),
                     )
                 )
+                if args.adversarial:
+                    from .generation.suites import adversarial_suite
+
+                    adv = list(adversarial_suite(args.adversarial))
+                    suite.extend(adv)
+                    print(
+                        f"appended {len(adv)} promoted adversarial "
+                        f"instance(s) from {args.adversarial}",
+                        file=sys.stderr,
+                    )
             progress = obs.log_progress if args.progress else None
             with manifest.phase("schedule"):
                 results = run_suite(
@@ -462,6 +473,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             label=args.label,
         )
 
+    if args.target == "adversarial":
+        return _bench_adversarial(args)
+
     if args.target == "batch":
         from .experiments.batchbench import (
             FULL_FLOORS,
@@ -506,6 +520,214 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for line in missed:
                 print(f"FAIL: {line}", file=sys.stderr)
             return 2
+    return 0
+
+
+def _bench_adversarial(args: argparse.Namespace) -> int:
+    """``bench adversarial``: fixed-seed hunt quality + throughput."""
+    from .experiments.advbench import (
+        FULL_FLOORS,
+        QUICK_FLOORS,
+        floor_violations,
+        run_benchmark,
+    )
+
+    payload = run_benchmark(quick=args.quick, graphs_per_cell=args.graphs_per_cell)
+    adv = payload["adversarial"]
+    print(
+        f"search     : {adv['steps']} steps x {adv['neighborhood']} candidates "
+        f"in {adv['wall_s']:.2f}s ({adv['steps_per_s']:.1f} steps/s)"
+    )
+    print(
+        f"best gap   : {adv['best_gap']:.4f} {adv['objective']} "
+        f"({adv['pair'][0]} vs {adv['pair'][1]}; base graph {adv['base_gap']:.4f})"
+    )
+    print(
+        f"testbed max: {adv['baseline_gap']:.4f} over {adv['baseline_graphs']} "
+        f"random graphs (beaten={adv['beats_baseline']})"
+    )
+    print(f"replay     : identical={adv['replay_identical']}")
+
+    if not args.check:
+        out = Path(args.out or "benchmarks/out/BENCH_adversarial.json")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1) + "\n")
+        print(f"pinned baseline to {out}")
+
+    if not adv["replay_identical"]:
+        print(
+            "FAIL: replayed instance does not reproduce its digest",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+        missed = floor_violations(payload, floors)
+        if missed:
+            for line in missed:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def _adversarial_base_spec(args: argparse.Namespace) -> dict:
+    """The base-graph spec shared by ``adversarial search`` and the store."""
+    return {
+        "kind": "pdg",
+        "seed": args.seed,
+        "n_tasks": args.n_tasks,
+        "band": args.band,
+        "anchor": args.anchor,
+        "weight_range": [args.wmin, args.wmax],
+    }
+
+
+def _cmd_adversarial_search(args: argparse.Namespace) -> int:
+    from .adversarial import (
+        InstanceRecord,
+        build_base_graph,
+        hunt,
+        make_objective,
+        save_instance,
+    )
+    from .adversarial.objective import baseline_gap
+    from .adversarial.store import wire_record
+    from .generation.suites import generate_suite
+
+    objective = make_objective(args.objective, args.a, args.b)
+    base_spec = _adversarial_base_spec(args)
+    base = build_base_graph(base_spec)
+
+    base_max = base_max_id = None
+    if args.baseline:
+        testbed = list(
+            generate_suite(
+                graphs_per_cell=args.baseline,
+                seed=args.seed,
+                n_tasks_range=(20, 40) if args.quick_baseline else (40, 100),
+            )
+        )
+        base_max, base_max_id = baseline_gap(objective, testbed)
+        if not args.json:
+            print(
+                f"random testbed max gap: {base_max:.4f} "
+                f"({base_max_id}, {len(testbed)} graphs)"
+            )
+
+    result = hunt(
+        base,
+        objective,
+        seed=args.search_seed,
+        steps=args.steps,
+        neighborhood=args.neighborhood,
+        policy=args.policy,
+    )
+    wire, digest = wire_record(result.best_graph)
+    record = InstanceRecord(
+        digest=digest,
+        graph=wire,
+        base=base_spec,
+        op_log=result.best_op_log,
+        objective=objective.describe(),
+        gap=result.best_score,
+        base_gap=result.base_score,
+        baseline_gap=base_max,
+        search={
+            "policy": result.policy,
+            "seed": result.seed,
+            "steps": result.steps,
+            "neighborhood": result.neighborhood,
+            "accepted": result.accepted,
+            "evaluated": result.evaluated,
+            "restarts": result.restarts,
+            "wall_s": round(result.wall_s, 4),
+        },
+    )
+    path = save_instance(args.store, record)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "digest": digest,
+                    "path": str(path),
+                    "gap": result.best_score,
+                    "base_gap": result.base_score,
+                    "baseline_gap": base_max,
+                    "steps": result.steps,
+                    "steps_per_s": round(result.steps / result.wall_s, 3),
+                    "op_log_len": len(result.best_op_log),
+                }
+            )
+        )
+    else:
+        print(
+            f"hunt: {result.steps} steps x {args.neighborhood} candidates "
+            f"({result.policy}) in {result.wall_s:.2f}s "
+            f"({result.steps / result.wall_s:.1f} steps/s)"
+        )
+        print(
+            f"gap {objective.describe()['kind']} {args.a} vs {args.b}: "
+            f"{result.base_score:.4f} -> {result.best_score:.4f} "
+            f"({len(result.best_op_log)} ops, {result.accepted} accepted, "
+            f"{result.restarts} restarts)"
+        )
+        print(f"saved instance {digest[:16]} to {path}")
+    if args.min_gap is not None and result.best_score < args.min_gap:
+        print(
+            f"FAIL: best gap {result.best_score:.4f} < --min-gap "
+            f"{args.min_gap:.4f}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def _cmd_adversarial_replay(args: argparse.Namespace) -> int:
+    from .adversarial import find_instance, verify_replay
+    from .core.exceptions import AdversarialError
+
+    path, record = find_instance(args.store, args.digest)
+    try:
+        verify_replay(record)
+    except AdversarialError as exc:
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replayed {record.digest[:16]} from (seed, {len(record.op_log)}-op "
+        f"log): digest identical"
+    )
+    if args.out:
+        _save_graph(TaskGraph.from_dict(record.graph), args.out)
+        print(f"wrote graph to {args.out}")
+    return 0
+
+
+def _cmd_adversarial_promote(args: argparse.Namespace) -> int:
+    from .adversarial import promote
+
+    record = promote(args.store, args.digest)
+    print(
+        f"promoted adv-{record.digest[:12]} (gap {record.gap:.4f}, "
+        f"{record.objective['a']} vs {record.objective['b']}) — now served "
+        "by the 'adversarial' graph class"
+    )
+    return 0
+
+
+def _cmd_adversarial_list(args: argparse.Namespace) -> int:
+    from .adversarial import list_instances
+
+    records = list_instances(args.store, promoted_only=not args.all)
+    if not records:
+        print(f"no {'' if args.all else 'promoted '}instances in {args.store}")
+        return 0
+    print(f"{'digest':16s} {'gap':>8s} {'base':>8s} {'objective':20s} promoted")
+    for r in records:
+        pair = f"{r.objective['kind']} {r.objective['a']}/{r.objective['b']}"
+        print(
+            f"{r.digest[:16]:16s} {r.gap:8.4f} {r.base_gap:8.4f} "
+            f"{pair:20s} {r.promoted}"
+        )
     return 0
 
 
@@ -963,10 +1185,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "target",
-        choices=["kernels", "batch", "track"],
+        choices=["kernels", "batch", "adversarial", "track"],
         help="which benchmark action to run (kernels: indexed vs dict hot "
-        "paths; batch: pooled SoA sweeps vs per-graph kernels; track: "
-        "record/check the BENCH_history.jsonl perf ledger)",
+        "paths; batch: pooled SoA sweeps vs per-graph kernels; adversarial: "
+        "fixed-seed hunt quality and throughput; track: record/check the "
+        "BENCH_history.jsonl perf ledger)",
     )
     p.add_argument(
         "--quick", action="store_true", help="small sizes for smoke runs"
@@ -1263,6 +1486,117 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--json", action="store_true", help="emit raw JSON")
     cp.set_defaults(func=_cmd_campaign_status)
 
+    p = sub.add_parser(
+        "adversarial",
+        help="hunt for, replay, and promote scheduler-separating graphs",
+    )
+    asub = p.add_subparsers(dest="adversarial_command", required=True)
+
+    def _store_flag(ap: argparse.ArgumentParser) -> None:
+        ap.add_argument(
+            "--store",
+            default="results/adversarial",
+            metavar="DIR",
+            help="instance store directory (default %(default)s)",
+        )
+
+    ap = asub.add_parser(
+        "search", help="run a seeded hunt and save the best instance"
+    )
+    ap.add_argument("--a", default="DSC", help="the favored scheduler")
+    ap.add_argument("--b", default="CLANS", help="the scheduler made to lose")
+    ap.add_argument(
+        "--objective",
+        choices=["ratio", "nsl-gap"],
+        default="ratio",
+        help="gap definition: makespan(B)/makespan(A) ratio or the "
+        "critical-path-normalized difference (default %(default)s)",
+    )
+    ap.add_argument(
+        "--policy",
+        choices=["anneal", "greedy"],
+        default="anneal",
+        help="search policy (default %(default)s)",
+    )
+    ap.add_argument("--steps", type=int, default=200)
+    ap.add_argument(
+        "--neighborhood",
+        type=int,
+        default=8,
+        metavar="K",
+        help="candidates scored per step, in one pooled batch pass "
+        "(default %(default)s)",
+    )
+    ap.add_argument(
+        "--seed",
+        type=int,
+        default=19940815,
+        help="base-graph generation seed (default %(default)s)",
+    )
+    ap.add_argument(
+        "--search-seed",
+        type=int,
+        default=42,
+        help="perturbation/acceptance seed; (seed, search-seed, params) "
+        "fully determines the result (default %(default)s)",
+    )
+    ap.add_argument("--n-tasks", type=int, default=48, metavar="N")
+    ap.add_argument("--band", type=int, default=2, choices=range(5))
+    ap.add_argument("--anchor", type=int, default=3)
+    ap.add_argument("--wmin", type=int, default=20)
+    ap.add_argument("--wmax", type=int, default=100)
+    ap.add_argument(
+        "--baseline",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also score a Table-1 random testbed (N graphs/cell) for the "
+        "max-gap yardstick (default 0: skip)",
+    )
+    ap.add_argument(
+        "--quick-baseline",
+        action="store_true",
+        help="use 20-40 task graphs for the --baseline testbed",
+    )
+    ap.add_argument(
+        "--min-gap",
+        type=float,
+        default=None,
+        metavar="G",
+        help="exit 2 unless the found gap reaches G (CI floor)",
+    )
+    ap.add_argument("--json", action="store_true", help="emit a JSON summary")
+    _store_flag(ap)
+    ap.set_defaults(func=_cmd_adversarial_search)
+
+    ap = asub.add_parser(
+        "replay",
+        help="rebuild an instance from its (seed, op log) recipe and "
+        "verify the digest",
+    )
+    ap.add_argument("digest", help="instance digest (unique prefix ok)")
+    ap.add_argument("--out", metavar="PATH", help="write the graph JSON here")
+    _store_flag(ap)
+    ap.set_defaults(func=_cmd_adversarial_replay)
+
+    ap = asub.add_parser(
+        "promote",
+        help="replay-verify an instance and admit it to the 'adversarial' "
+        "graph class",
+    )
+    ap.add_argument("digest", help="instance digest (unique prefix ok)")
+    _store_flag(ap)
+    ap.set_defaults(func=_cmd_adversarial_promote)
+
+    ap = asub.add_parser("list", help="list stored instances")
+    ap.add_argument(
+        "--all",
+        action="store_true",
+        help="include unpromoted instances (default: promoted only)",
+    )
+    _store_flag(ap)
+    ap.set_defaults(func=_cmd_adversarial_list)
+
     p = sub.add_parser("experiment", help="run the suite and print tables/figures")
     p.add_argument("--graphs-per-cell", type=int, default=4)
     p.add_argument("--seed", type=int, default=19940815)
@@ -1328,6 +1662,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RATE",
         help="exit non-zero only when the failure rate (failed evaluations "
         "/ attempted) exceeds this fraction (default 0.0)",
+    )
+    p.add_argument(
+        "--adversarial",
+        nargs="?",
+        const="results/adversarial",
+        default=None,
+        metavar="DIR",
+        help="append the promoted adversarial instances from DIR (default "
+        "results/adversarial) to the suite as the 'adversarial' graph class",
     )
     p.set_defaults(func=_cmd_experiment)
 

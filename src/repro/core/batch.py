@@ -42,8 +42,10 @@ identical results from the per-graph paths.
 Observability: each pack-and-prime pass is timed into the
 ``batch.analyze`` timer with ``batch.batches`` / ``batch.graphs`` /
 ``batch.nodes`` counters; graphs skipped because their memos are already
-primed count as ``batch.already_primed`` (the compile itself is cached and
-counted by the existing ``kernels.cache.*`` wiring).
+primed count as ``batch.already_primed``, cyclic graphs refused at compile
+time count as ``batch.skipped_cyclic`` and have their input positions
+reported on the returned :class:`BatchReport` (the compile itself is cached
+and counted by the existing ``kernels.cache.*`` wiring).
 """
 
 from __future__ import annotations
@@ -65,6 +67,7 @@ from .metrics import granularity_band
 from .taskgraph import TaskGraph
 
 __all__ = [
+    "BatchReport",
     "GraphBatch",
     "batch_analyze",
     "batch_enabled",
@@ -493,9 +496,34 @@ def _prime(graph: TaskGraph, key: Any, value: Any) -> None:
     graph.cached(key, lambda: value)
 
 
+class BatchReport(int):
+    """The number of graphs a :func:`batch_analyze` call primed, plus the
+    input positions it *refused*.
+
+    An ``int`` subclass so every existing ``batch_analyze(...) == n`` /
+    truthiness use keeps working; :attr:`skipped` carries the 0-based
+    positions (into the call's input iterable, before deduplication) of
+    graphs skipped because compiling them raised
+    :class:`~repro.core.exceptions.CycleError`.  Callers that mutate
+    graphs — the adversarial search, the suite runner's prebatcher —
+    check ``report.skipped`` to catch a bad mutation instead of silently
+    scoring whatever stale memo the per-graph path would fall back to.
+    """
+
+    skipped: tuple[int, ...]
+
+    def __new__(cls, analyzed: int = 0, skipped: tuple[int, ...] = ()) -> "BatchReport":
+        self = super().__new__(cls, analyzed)
+        self.skipped = tuple(skipped)
+        return self
+
+    def __repr__(self) -> str:
+        return f"BatchReport(analyzed={int(self)}, skipped={self.skipped})"
+
+
 def batch_analyze(
     graphs: Iterable[TaskGraph], *, classify: bool = True
-) -> int:
+) -> BatchReport:
     """Analyze many graphs in one vectorized pass, priming their memos.
 
     Compiles each graph's :class:`GraphIndex` through the existing
@@ -507,43 +535,50 @@ def batch_analyze(
     the memos and produce byte-identical output.  With ``classify=True``
     the section-3 granularity and serial time are primed as well.
 
-    Returns the number of graphs analyzed.  A no-op returning 0 when
+    Returns a :class:`BatchReport` — the number of graphs analyzed (it
+    compares equal to a plain ``int``), carrying the input positions of
+    any cyclic graphs in ``skipped``.  A no-op reporting 0 when
     :func:`batch_enabled` is false.  Never raises for individual bad
-    graphs: cyclic graphs are skipped (the per-graph path raises
+    graphs: cyclic graphs are skipped with a ``batch.skipped_cyclic``
+    counter bump and their positions reported (the per-graph path raises
     :class:`CycleError` on demand, exactly as without batching), and
     graphs whose granularity is undefined simply aren't primed for it.
     """
     if not batch_enabled():
-        return 0
-    todo: list[TaskGraph] = []
+        return BatchReport(0)
+    todo: list[tuple[int, TaskGraph]] = []
     seen: set[int] = set()
     already = 0
     check_keys = _LEVEL_KEYS + ((_KEY_SERIAL,) if classify else ())
-    for g in graphs:
+    for pos, g in enumerate(graphs):
         if id(g) in seen:
             continue
         seen.add(id(g))
         if all(g.has_cached(k) for k in check_keys):
             already += 1
             continue
-        todo.append(g)
+        todo.append((pos, g))
     registry = get_registry()
     if already:
         registry.inc("batch.already_primed", already)
     if not todo:
-        return 0
+        return BatchReport(0)
     with registry.timer("batch.analyze"):
         kept: list[TaskGraph] = []
         indexes: list[GraphIndex] = []
-        for g in todo:
+        skipped: list[int] = []
+        for pos, g in todo:
             try:
                 gi = graph_index(g)
             except CycleError:
+                skipped.append(pos)
                 continue
             kept.append(g)
             indexes.append(gi)
+        if skipped:
+            registry.inc("batch.skipped_cyclic", len(skipped))
         if not kept:
-            return 0
+            return BatchReport(0, tuple(skipped))
         batch = GraphBatch(indexes)
         tracer = get_tracer()
         with tracer.span(
@@ -567,4 +602,4 @@ def batch_analyze(
         registry.inc("batch.batches")
         registry.inc("batch.graphs", len(kept))
         registry.inc("batch.nodes", batch.n_nodes)
-    return len(kept)
+    return BatchReport(len(kept), tuple(skipped))

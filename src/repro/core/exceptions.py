@@ -30,3 +30,7 @@ class DecompositionError(ReproError):
 
 class GenerationError(ReproError):
     """Random graph generation could not satisfy the requested constraints."""
+
+
+class AdversarialError(ReproError):
+    """Adversarial search, replay or instance storage failed."""

@@ -119,6 +119,17 @@ TRACKED: tuple[TrackedMetric, ...] = (
     TrackedMetric(
         "BENCH_campaign.json", "campaign/units_per_s", "higher", rel_tol=0.50
     ),
+    # Adversarial-search throughput (batch-fanned candidate scoring) is a
+    # wall-clock rate on shared machines → wide relative band.  best_gap,
+    # by contrast, is fully deterministic (seeded search over seeded
+    # generation, resolved ops) — the band is a rounding allowance only,
+    # so any real behavior change in the ops/search/schedulers trips it.
+    TrackedMetric(
+        "BENCH_adversarial.json", "adversarial/steps_per_s", "higher", rel_tol=0.50
+    ),
+    TrackedMetric(
+        "BENCH_adversarial.json", "adversarial/best_gap", "higher", abs_tol=1e-9
+    ),
 )
 
 

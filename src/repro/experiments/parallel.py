@@ -161,7 +161,13 @@ def _run_chunk(
     failures: list[FailureRecord] = []
     with use_registry(registry), use_tracer(tracer), use_context(ctx):
         if batch_enabled():
-            batch_analyze([sg.graph for sg in chunk])
+            report = batch_analyze([sg.graph for sg in chunk])
+            for pos in report.skipped:
+                get_logger("parallel").warning(
+                    "batch pre-analysis skipped cyclic graph %s; "
+                    "the per-graph path will raise",
+                    chunk[pos].graph_id,
+                )
         for sg in chunk:
             gr, frs = _graph_result_safe(
                 sg,

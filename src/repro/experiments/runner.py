@@ -348,20 +348,30 @@ def _iter_prebatched(
     the per-graph evaluation below runs against warm caches.  Results are
     byte-identical: the batch primes exactly the values the lazy kernels
     would compute, and graphs it cannot handle (e.g. cyclic) are left for
-    the per-graph path to fail on with its usual error handling.
+    the per-graph path to fail on with its usual error handling — the
+    :class:`~repro.core.batch.BatchReport` names them here first, so a bad
+    generator shows up in the log before the failure record.
     """
     buf: list[SuiteGraph] = []
     for sg in suite:
         buf.append(sg)
         if len(buf) >= PREBATCH_CHUNK:
-            batch_analyze(
-                [s.graph for s in buf if s.graph_id not in completed]
-            )
+            _prebatch([s for s in buf if s.graph_id not in completed])
             yield from buf
             buf = []
     if buf:
-        batch_analyze([s.graph for s in buf if s.graph_id not in completed])
+        _prebatch([s for s in buf if s.graph_id not in completed])
         yield from buf
+
+
+def _prebatch(pending: list[SuiteGraph]) -> None:
+    report = batch_analyze([s.graph for s in pending])
+    for pos in report.skipped:
+        get_logger("runner").warning(
+            "batch pre-analysis skipped cyclic graph %s; "
+            "the per-graph path will raise",
+            pending[pos].graph_id,
+        )
 
 
 def run_suite(

@@ -25,10 +25,13 @@ __all__ = [
     "PAPER_ANCHORS",
     "PAPER_WEIGHT_RANGES",
     "PAPER_GRAPHS_PER_CELL",
+    "GRAPH_CLASSES",
     "SuiteCell",
     "SuiteGraph",
+    "AdversarialGraph",
     "suite_cells",
     "generate_suite",
+    "adversarial_suite",
     "band_label",
     "weight_range_label",
 ]
@@ -85,6 +88,24 @@ class SuiteGraph:
         return f"b{self.cell.band}-a{self.cell.anchor}-w{lo}_{hi}-#{self.index}"
 
 
+@dataclass(frozen=True)
+class AdversarialGraph(SuiteGraph):
+    """A promoted search-discovered instance (`adversarial` graph class).
+
+    The graph id is derived from the instance's wire digest rather than a
+    cell index, so identity is content-addressed and stable no matter how
+    many instances a store holds.  Everything downstream of generation —
+    ``run_suite``, campaigns, checkpoints, the serving tier — only touches
+    ``graph_id`` / ``cell`` / ``graph``, so these flow through unchanged.
+    """
+
+    digest: str = ""
+
+    @property
+    def graph_id(self) -> str:
+        return f"adv-{self.digest[:12]}"
+
+
 def suite_cells() -> list[SuiteCell]:
     """All 60 cells in Table 1's iteration order (band, anchor, range)."""
     return [
@@ -138,3 +159,31 @@ def generate_suite(
                 weight_range=cell.weight_range,
             )
             yield SuiteGraph(cell, i, graph)
+
+
+def adversarial_suite(
+    store_dir=None, *, promoted_only: bool = True
+) -> Iterator[SuiteGraph]:
+    """Lazily yield the promoted adversarial instances as suite graphs.
+
+    The ``adversarial`` graph class: instances discovered by
+    ``repro adversarial search`` and promoted into the store
+    (``results/adversarial/`` by default) come back as
+    :class:`AdversarialGraph` values in deterministic (digest) order,
+    classified into a Table-1 style cell from their realized metrics.
+    An absent store yields nothing.
+    """
+    from ..adversarial.store import DEFAULT_STORE_DIR, adversarial_suite_graphs
+
+    if store_dir is None:
+        store_dir = DEFAULT_STORE_DIR
+    yield from adversarial_suite_graphs(store_dir, promoted_only=promoted_only)
+
+
+#: Registered graph classes: name -> generator of SuiteGraphs.  ``table1``
+#: is the paper's random testbed; ``adversarial`` serves the promoted
+#: instances from the on-disk store.
+GRAPH_CLASSES = {
+    "table1": generate_suite,
+    "adversarial": adversarial_suite,
+}

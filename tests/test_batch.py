@@ -316,9 +316,53 @@ class TestBatchAnalyze:
         cyc.add_edge("b", "a", 1)
         ok = GRAPHS[1].copy()
         with use_batch(True), use_kernels(True):
-            assert batch_analyze([cyc, ok]) == 1  # cyclic skipped silently
+            assert batch_analyze([cyc, ok]) == 1  # cyclic graph skipped
             with pytest.raises(CycleError):
                 t_levels(cyc)  # the on-demand path still reports it
+
+    def test_cyclic_skip_is_surfaced_in_report_and_counter(self):
+        # The skip must not be silent: the report names the skipped input
+        # positions and the registry counts them, while the return value
+        # still compares as the analyzed count (it is an int subclass).
+        def _cycle() -> TaskGraph:
+            cyc = TaskGraph()
+            cyc.add_task("a", 1)
+            cyc.add_task("b", 1)
+            cyc.add_edge("a", "b", 1)
+            cyc.add_edge("b", "a", 1)
+            return cyc
+
+        ok1, ok2 = GRAPHS[1].copy(), GRAPHS[2].copy()
+        registry = MetricsRegistry()
+        with use_registry(registry), use_batch(True), use_kernels(True):
+            report = batch_analyze([_cycle(), ok1, _cycle(), ok2])
+        assert isinstance(report, batch_mod.BatchReport)
+        assert report == 2
+        assert report.skipped == (0, 2)
+        assert registry.counters()["batch.skipped_cyclic"] == 2
+
+    def test_all_cyclic_report(self):
+        def _cycle() -> TaskGraph:
+            cyc = TaskGraph()
+            cyc.add_task("a", 1)
+            cyc.add_task("b", 1)
+            cyc.add_edge("a", "b", 1)
+            cyc.add_edge("b", "a", 1)
+            return cyc
+
+        with use_batch(True), use_kernels(True):
+            report = batch_analyze([_cycle(), _cycle()])
+        assert report == 0
+        assert report.skipped == (0, 1)
+
+    def test_report_when_disabled_or_empty(self):
+        g = GRAPHS[3].copy()
+        with use_batch(False):
+            report = batch_analyze([g])
+        assert report == 0 and report.skipped == ()
+        with use_batch(True), use_kernels(True):
+            report = batch_analyze([])
+        assert report == 0 and report.skipped == ()
 
     def test_disabled_is_a_noop(self):
         g = GRAPHS[6].copy()
